@@ -1,0 +1,63 @@
+// Command cnc-inspect prints the Consensus & Commitment framework view
+// of every implemented protocol: its five-aspect taxonomy entry and its
+// decomposition into Leader Election → Value Discovery → Fault-tolerant
+// Agreement → Decision — the paper's pedagogical contribution, as a
+// queryable artifact.
+//
+// Usage:
+//
+//	cnc-inspect            # all protocols
+//	cnc-inspect paxos pbft # selected protocols
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/metrics"
+
+	// Importing the protocol packages registers their profiles.
+	_ "fortyconsensus/internal/cheapbft"
+	_ "fortyconsensus/internal/commit"
+	_ "fortyconsensus/internal/fastpaxos"
+	_ "fortyconsensus/internal/flexpaxos"
+	_ "fortyconsensus/internal/hotstuff"
+	_ "fortyconsensus/internal/minbft"
+	_ "fortyconsensus/internal/multipaxos"
+	_ "fortyconsensus/internal/paxos"
+	_ "fortyconsensus/internal/pbft"
+	_ "fortyconsensus/internal/pos"
+	_ "fortyconsensus/internal/pow"
+	_ "fortyconsensus/internal/raft"
+	_ "fortyconsensus/internal/seemore"
+	_ "fortyconsensus/internal/upright"
+	_ "fortyconsensus/internal/xft"
+	_ "fortyconsensus/internal/zyzzyva"
+)
+
+func main() {
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[a] = true
+	}
+	t := metrics.NewTable("Consensus & Commitment framework — protocol registry",
+		"protocol", "synchrony", "failure", "strategy", "awareness",
+		"nodes", "phases", "complexity", "C&C decomposition")
+	for _, p := range core.All() {
+		if len(want) > 0 && !want[p.Name] {
+			continue
+		}
+		t.AddRow(p.Name, p.Synchrony.String(), p.Failure.String(), p.Strategy.String(),
+			p.Awareness.String(), p.NodesFormula, p.PhasesString(),
+			p.Complexity.String(), p.DecompositionString())
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nNotes:")
+	for _, p := range core.All() {
+		if len(want) > 0 && !want[p.Name] {
+			continue
+		}
+		fmt.Printf("  %-12s %s\n", p.Name+":", p.Notes)
+	}
+}

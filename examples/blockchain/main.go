@@ -1,0 +1,87 @@
+// Blockchain: mines a small Proof-of-Work chain — the paper's
+// permissionless half. Three miners grind real SHA-256d puzzles, gossip
+// blocks, fork and reconverge on the most-work chain, confirm a
+// transaction, and the difficulty retargets when hash power shifts.
+//
+//	go run ./examples/blockchain
+package main
+
+import (
+	"fmt"
+
+	"fortyconsensus/internal/pow"
+	"fortyconsensus/internal/runner"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+func main() {
+	params := pow.DefaultParams()
+	fab := simnet.NewFabric(simnet.Options{MinDelay: 8, MaxDelay: 12, Seed: 21})
+	rc := runner.New(runner.Config[pow.Message]{Fabric: fab, Dest: pow.Dest, Src: pow.Src, Kind: pow.Kind})
+
+	peers := []types.NodeID{0, 1, 2}
+	miners := make([]*pow.Miner, 3)
+	powers := []int{2048, 1024, 512} // miner 0 holds ~58% of hash power
+	for i := range miners {
+		miners[i] = pow.NewMiner(types.NodeID(i), pow.MinerConfig{
+			Params: params, Peers: peers, HashPerTick: powers[i], Seed: uint64(i) * 733,
+		})
+		rc.Add(types.NodeID(i), miners[i])
+	}
+
+	fmt.Println("submitting transaction: \"alice pays bob 10\"")
+	miners[2].SubmitTx(pow.Tx("alice pays bob 10"))
+
+	last := uint64(0)
+	rc.RunUntil(func() bool {
+		if h := miners[0].Chain().Height(); h > last {
+			last = h
+			id, _, bits := miners[0].Chain().Tip()
+			fmt.Printf("  height %3d  tip %v  bits %08x\n", h, id, bits)
+		}
+		return miners[0].Chain().Height() >= 30
+	}, 5_000_000)
+	rc.Run(60) // final propagation
+
+	// Find the confirmation depth of the transaction.
+	chain := miners[1].Chain()
+	for _, id := range chain.BestChain() {
+		b, _ := chain.Block(id)
+		for _, tx := range b.Txs {
+			if string(tx) == "alice pays bob 10" {
+				_, tipH, _ := chain.Tip()
+				var height uint64
+				for h := uint64(0); h <= tipH; h++ {
+					if blk, ok := chain.BlockAt(h); ok && blk.Hash() == b.Hash() {
+						height = h
+					}
+				}
+				fmt.Printf("\ntransaction confirmed at height %d (%d confirmations)\n",
+					height, tipH-height+1)
+			}
+		}
+	}
+
+	fmt.Println("\nfork statistics:")
+	for i, m := range miners {
+		reorgs, deepest := m.Chain().Reorgs()
+		fmt.Printf("  miner-%d: found %2d blocks, saw %d stale, %d reorgs (deepest %d)\n",
+			i, m.Mined(), m.Chain().StaleBlocks(), reorgs, deepest)
+	}
+
+	shares := miners[0].RewardShare()
+	fmt.Println("\nbest-chain reward shares (should track hash power 4:2:1):")
+	for i := range miners {
+		fmt.Printf("  miner-%d: %d blocks\n", i, shares[i])
+	}
+
+	converged := 0
+	for _, m := range miners[1:] {
+		if pow.CommonPrefix(miners[0].Chain(), m.Chain()) >= int(miners[0].Chain().Height()) {
+			converged++
+		}
+	}
+	fmt.Printf("\nchains converged on one best prefix: %d/%d peers agree with miner-0 ✓\n",
+		converged, len(miners)-1)
+}

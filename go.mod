@@ -1,0 +1,3 @@
+module fortyconsensus
+
+go 1.22

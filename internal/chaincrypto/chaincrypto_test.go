@@ -1,0 +1,209 @@
+package chaincrypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"fortyconsensus/internal/types"
+)
+
+func TestHashDeterminism(t *testing.T) {
+	a := Hash([]byte("hello"), []byte("world"))
+	b := Hash([]byte("hello"), []byte("world"))
+	if a != b {
+		t.Fatal("hash not deterministic")
+	}
+	if a == Hash([]byte("helloworld!")) {
+		t.Fatal("distinct inputs collide trivially")
+	}
+	if a.IsZero() {
+		t.Fatal("real hash reads as zero")
+	}
+	if (Digest{}).IsZero() == false {
+		t.Fatal("zero digest not zero")
+	}
+	if a.String() == "" {
+		t.Fatal("digest string empty")
+	}
+}
+
+func TestDoubleHashDiffersFromSingle(t *testing.T) {
+	if DoubleHash([]byte("x")) == Hash([]byte("x")) {
+		t.Fatal("SHA256d equals single SHA256")
+	}
+}
+
+func TestAuthenticatorRoundTrip(t *testing.T) {
+	master := []byte("cluster-secret")
+	a := NewAuthenticator(master, 0)
+	b := NewAuthenticator(master, 1)
+	msg := []byte("pre-prepare v=1 n=4")
+	tag := a.MAC(1, msg)
+	if !b.Verify(0, msg, tag) {
+		t.Fatal("valid MAC rejected")
+	}
+	if b.Verify(0, []byte("tampered"), tag) {
+		t.Fatal("tampered message accepted")
+	}
+	if b.Verify(2, msg, tag) {
+		t.Fatal("MAC accepted from wrong sender")
+	}
+	// A third party with a different master cannot forge.
+	evil := NewAuthenticator([]byte("other"), 2)
+	if b.Verify(0, msg, evil.MAC(1, msg)) {
+		t.Fatal("forged MAC accepted")
+	}
+}
+
+func TestAuthenticatorPairSymmetry(t *testing.T) {
+	master := []byte("s")
+	a, b := NewAuthenticator(master, 3), NewAuthenticator(master, 7)
+	msg := []byte("m")
+	if !b.Verify(3, msg, a.MAC(7, msg)) || !a.Verify(7, msg, b.MAC(3, msg)) {
+		t.Fatal("pair key not symmetric")
+	}
+}
+
+func TestKeyringSignVerify(t *testing.T) {
+	kr := NewKeyring(4, 42)
+	msg := []byte("commit cert")
+	sig := kr.Sign(2, msg)
+	if !kr.Verify(2, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if kr.Verify(3, msg, sig) {
+		t.Fatal("signature accepted for wrong signer")
+	}
+	if kr.Verify(2, []byte("other"), sig) {
+		t.Fatal("signature accepted for wrong message")
+	}
+	if kr.Verify(99, msg, sig) {
+		t.Fatal("unknown node verified")
+	}
+}
+
+func TestKeyringDeterministicFromSeed(t *testing.T) {
+	a, b := NewKeyring(3, 7), NewKeyring(3, 7)
+	if !bytes.Equal(a.Sign(0, []byte("m")), b.Sign(0, []byte("m"))) {
+		t.Fatal("same seed produced different keys")
+	}
+	c := NewKeyring(3, 8)
+	if bytes.Equal(a.Sign(0, []byte("m")), c.Sign(0, []byte("m"))) {
+		t.Fatal("different seeds produced equal keys")
+	}
+}
+
+func TestKeyringSignPanicsOnUnknown(t *testing.T) {
+	kr := NewKeyring(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sign for unknown node did not panic")
+		}
+	}()
+	kr.Sign(9, []byte("m"))
+}
+
+func TestQCAggregateAndVerify(t *testing.T) {
+	kr := NewKeyring(4, 9)
+	d := Hash([]byte("block"))
+	var shares []PartialSig
+	for i := 0; i < 4; i++ {
+		shares = append(shares, PartialSig{Node: types.NodeID(i), Sig: kr.Sign(types.NodeID(i), d[:])})
+	}
+	qc, err := Aggregate(kr, d, shares, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qc.Sigs) != 3 {
+		t.Fatalf("QC kept %d sigs, want exactly k=3", len(qc.Sigs))
+	}
+	if err := VerifyQC(kr, qc, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQCRejectsForgeries(t *testing.T) {
+	kr := NewKeyring(4, 9)
+	d := Hash([]byte("block"))
+	good := PartialSig{Node: 0, Sig: kr.Sign(0, d[:])}
+	bad := PartialSig{Node: 1, Sig: []byte("garbage")}
+	dupe := good
+	if _, err := Aggregate(kr, d, []PartialSig{good, bad, dupe}, 2); err == nil {
+		t.Fatal("aggregated despite only one valid distinct share")
+	}
+	// A QC with duplicated signers must not pass k=2.
+	qc := QC{Digest: d, Sigs: []PartialSig{good, good}}
+	if err := VerifyQC(kr, qc, 2); err == nil {
+		t.Fatal("verified QC with duplicate signer")
+	}
+}
+
+func TestQCWrongDigestFails(t *testing.T) {
+	kr := NewKeyring(4, 9)
+	d1, d2 := Hash([]byte("a")), Hash([]byte("b"))
+	shares := []PartialSig{
+		{Node: 0, Sig: kr.Sign(0, d1[:])},
+		{Node: 1, Sig: kr.Sign(1, d1[:])},
+	}
+	if _, err := Aggregate(kr, d2, shares, 2); err == nil {
+		t.Fatal("aggregated shares over the wrong digest")
+	}
+}
+
+func TestMerkleRootProperties(t *testing.T) {
+	if !MerkleRoot(nil).IsZero() {
+		t.Fatal("empty tree root not zero")
+	}
+	one := MerkleRoot([][]byte{[]byte("tx1")})
+	if one != DoubleHash([]byte("tx1")) {
+		t.Fatal("single-leaf root should be the leaf hash")
+	}
+	r1 := MerkleRoot([][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	r2 := MerkleRoot([][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	if r1 != r2 {
+		t.Fatal("root not deterministic")
+	}
+	r3 := MerkleRoot([][]byte{[]byte("a"), []byte("x"), []byte("c")})
+	if r1 == r3 {
+		t.Fatal("tampered leaf kept the same root")
+	}
+}
+
+func TestMerkleProofRoundTrip(t *testing.T) {
+	leaves := [][]byte{[]byte("t0"), []byte("t1"), []byte("t2"), []byte("t3"), []byte("t4")}
+	root := MerkleRoot(leaves)
+	for i, leaf := range leaves {
+		proof, err := BuildMerkleProof(leaves, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyMerkleProof(root, leaf, proof) {
+			t.Fatalf("valid proof for leaf %d rejected", i)
+		}
+		if VerifyMerkleProof(root, []byte("forged"), proof) {
+			t.Fatalf("forged leaf accepted at %d", i)
+		}
+	}
+	if _, err := BuildMerkleProof(leaves, 9); err == nil {
+		t.Fatal("out-of-range proof index accepted")
+	}
+}
+
+func TestMerkleProofProperty(t *testing.T) {
+	f := func(raw [][]byte, idx uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		i := int(idx) % len(raw)
+		root := MerkleRoot(raw)
+		proof, err := BuildMerkleProof(raw, i)
+		if err != nil {
+			return false
+		}
+		return VerifyMerkleProof(root, raw[i], proof)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

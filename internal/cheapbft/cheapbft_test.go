@@ -1,0 +1,213 @@
+package cheapbft
+
+import (
+	"testing"
+
+	"fortyconsensus/internal/kvstore"
+	"fortyconsensus/internal/runner"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/smr"
+	"fortyconsensus/internal/types"
+)
+
+// cluster is the test harness: 2f+1 replicas plus executors.
+type cluster struct {
+	*runner.Cluster[Message]
+	reps  []*Replica
+	execs []*smr.Executor
+	f     int
+}
+
+func newCluster(f int, fabric *simnet.Fabric, cfg Config) *cluster {
+	n := 2*f + 1
+	cfg.N, cfg.F = n, f
+	rc := runner.New(runner.Config[Message]{Fabric: fabric, Dest: Dest, Src: Src, Kind: Kind})
+	c := &cluster{Cluster: rc, f: f}
+	for i := 0; i < n; i++ {
+		rep := NewReplica(types.NodeID(i), cfg)
+		c.reps = append(c.reps, rep)
+		rc.Add(types.NodeID(i), rep)
+		c.execs = append(c.execs, smr.NewExecutor(types.NodeID(i), kvstore.New()))
+	}
+	return c
+}
+
+func (c *cluster) pump() {
+	for i, rep := range c.reps {
+		for _, d := range rep.TakeDecisions() {
+			c.execs[i].Commit(d)
+		}
+	}
+}
+
+func (c *cluster) submit(at types.NodeID, req types.Value) {
+	c.Inject(Message{Kind: MsgRequest, From: -1, To: at, Req: req})
+}
+
+func (c *cluster) executedEverywhere(seq types.Seq, skip ...types.NodeID) bool {
+	sk := map[types.NodeID]bool{}
+	for _, s := range skip {
+		sk[s] = true
+	}
+	for _, rep := range c.reps {
+		if sk[rep.id] || c.Crashed(rep.id) {
+			continue
+		}
+		if rep.ExecutedFrontier() < seq {
+			return false
+		}
+	}
+	return true
+}
+
+func req(client types.ClientID, seq uint64, cmd kvstore.Command) types.Value {
+	return smr.EncodeRequest(types.Request{Client: client, SeqNo: seq, Op: cmd.Encode()})
+}
+
+func TestCheapTinyCommitsWithActiveSubset(t *testing.T) {
+	c := newCluster(1, nil, Config{})
+	c.submit(0, req(1, 1, kvstore.Put("k", []byte("v"))))
+	if !c.RunUntil(func() bool { return c.executedEverywhere(1) }, 500) {
+		t.Fatal("request never executed on all replicas")
+	}
+	// Passive replica (id 2 in epoch 0, f=1) executed via updates, not
+	// prepares.
+	st := c.Stats()
+	if st.ByKind["update"] == 0 {
+		t.Fatalf("no passive updates flowed: %v", st.ByKind)
+	}
+	c.pump()
+	if err := smr.CheckPrefixConsistency(c.execs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActiveSetSize(t *testing.T) {
+	c := newCluster(2, nil, Config{}) // n=5, active=3
+	active := 0
+	for _, rep := range c.reps {
+		if rep.isActive(rep.id) {
+			active++
+		}
+	}
+	if active != 3 {
+		t.Fatalf("active replicas = %d, want f+1 = 3", active)
+	}
+}
+
+func TestCheapTinyCheaperThanFullGroup(t *testing.T) {
+	// Steady-state agreement traffic involves only f+1 replicas: with
+	// f=1 (n=3) each request costs prepare(1) + commit(1→1 each way
+	// among 2 actives) + update(1) — far less than 3f+1 BFT.
+	c := newCluster(1, nil, Config{})
+	for i := 1; i <= 20; i++ {
+		c.submit(0, req(1, uint64(i), kvstore.Incr("n", 1)))
+	}
+	c.RunUntil(func() bool { return c.executedEverywhere(20) }, 2000)
+	st := c.Stats()
+	perReq := float64(st.Sent) / 20
+	if perReq > 8 {
+		t.Fatalf("CheapTiny costs %.1f msgs/req — not cheap", perReq)
+	}
+}
+
+func TestPanicSwitchesToMinBFT(t *testing.T) {
+	// Crash an active backup: the primary's in-flight slot times out,
+	// PANIC flows, CheapSwitch runs, and the group finishes the request
+	// in MinBFT mode using the previously passive replica.
+	c := newCluster(1, nil, Config{RequestTimeout: 25})
+	c.Crash(1) // active backup in epoch 0
+	c.submit(0, req(1, 1, kvstore.Put("k", []byte("v"))))
+	if !c.RunUntil(func() bool { return c.executedEverywhere(1, 1) }, 4000) {
+		t.Fatalf("request never recovered after active-replica crash (modes: %v %v)",
+			c.reps[0].Mode(), c.reps[2].Mode())
+	}
+	if c.reps[0].Mode() != ModeMinBFT && c.reps[2].Mode() != ModeMinBFT {
+		t.Fatalf("no replica reached MinBFT mode: %v/%v", c.reps[0].Mode(), c.reps[2].Mode())
+	}
+	st := c.Stats()
+	if st.ByKind["panic"] == 0 || st.ByKind["history"] == 0 || st.ByKind["switch"] == 0 {
+		t.Fatalf("CheapSwitch phases missing: %v", st.ByKind)
+	}
+	c.pump()
+	if err := smr.CheckPrefixConsistency(c.execs[0], c.execs[2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinBFTModeToleratesSilentReplica(t *testing.T) {
+	// After switching, f+1 of 2f+1 commits suffice: the crashed replica
+	// stays down and progress continues.
+	c := newCluster(1, nil, Config{RequestTimeout: 25})
+	c.Crash(1)
+	c.submit(0, req(1, 1, kvstore.Incr("n", 1)))
+	c.RunUntil(func() bool { return c.executedEverywhere(1, 1) }, 4000)
+	c.submit(0, req(1, 2, kvstore.Incr("n", 1)))
+	if !c.RunUntil(func() bool { return c.executedEverywhere(2, 1) }, 2000) {
+		t.Fatal("MinBFT mode stalled with one silent replica")
+	}
+	c.pump()
+	if err := smr.CheckPrefixConsistency(c.execs[0], c.execs[2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchBackAfterQuietPeriod(t *testing.T) {
+	c := newCluster(1, nil, Config{RequestTimeout: 25, QuietTicks: 60})
+	c.Crash(1)
+	c.submit(0, req(1, 1, kvstore.Noop()))
+	c.RunUntil(func() bool { return c.executedEverywhere(1, 1) }, 4000)
+	c.Restart(1)
+	ok := c.RunUntil(func() bool {
+		return c.reps[0].Mode() == ModeCheapTiny && c.reps[2].Mode() == ModeCheapTiny
+	}, 4000)
+	if !ok {
+		t.Fatalf("never switched back: %v/%v", c.reps[0].Mode(), c.reps[2].Mode())
+	}
+	if c.reps[0].Epoch() == 0 {
+		t.Fatal("switch-back kept the old epoch")
+	}
+}
+
+func TestEpochIsolationOfCertificates(t *testing.T) {
+	// Messages certified under the old epoch are rejected after a
+	// switch — the CASH replay protection.
+	cfg := Config{N: 3, F: 1}.withDefaults()
+	a := NewReplica(0, cfg)
+	b := NewReplica(1, cfg)
+	a.Submit(req(1, 1, kvstore.Noop()))
+	var prep Message
+	for _, m := range a.Drain() {
+		if m.Kind == MsgPrepare && m.To == 1 {
+			prep = m
+		}
+	}
+	// Advance b's epoch (as CheapSwitch would) and replay the epoch-0
+	// prepare with a forged epoch tag.
+	forged := prep
+	forged.Epoch = 1
+	b.epoch = 1
+	b.Step(forged)
+	if b.seq != 0 {
+		t.Fatal("cross-epoch replay accepted")
+	}
+}
+
+func TestChaosConsistency(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		fab := simnet.NewFabric(simnet.Options{MinDelay: 1, MaxDelay: 4, Seed: seed})
+		c := newCluster(1, fab, Config{RequestTimeout: 40})
+		for i := 1; i <= 12; i++ {
+			c.submit(types.NodeID(i%3), req(1, uint64(i), kvstore.Incr("n", 1)))
+			c.Run(70)
+			c.pump()
+			if err := smr.CheckPrefixConsistency(c.execs...); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		if !c.executedEverywhere(12) {
+			t.Fatalf("seed %d: stalled at %d/%d/%d", seed,
+				c.reps[0].ExecutedFrontier(), c.reps[1].ExecutedFrontier(), c.reps[2].ExecutedFrontier())
+		}
+	}
+}

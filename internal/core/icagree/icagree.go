@@ -1,0 +1,172 @@
+// Package icagree implements the Pease–Shostak–Lamport interactive
+// consistency exchange the paper walks through on its "Reaching Agreement
+// in the Presence of Fault" slides: each process sends its private value
+// to all, collects the received values into a vector, re-exchanges the
+// vectors, and takes a per-element majority, marking elements without a
+// majority UNKNOWN.
+//
+// The package reproduces both slide cases: with N = 4, f = 1 the correct
+// processes agree on every element (faulty entries resolve to a common
+// UNKNOWN or a common value); with N = 3, f = 1 — below the 3f+1 bound —
+// the correct processes' result vectors diverge. Experiment F9 asserts
+// exactly this.
+package icagree
+
+import (
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+// Unknown is the sentinel value for elements with no majority.
+const Unknown = "UNKNOWN"
+
+// Process is one participant. Faulty processes lie per the Lie function;
+// honest processes have Lie == nil.
+type Process struct {
+	ID    types.NodeID
+	Value string
+	// Lie, when non-nil, fabricates the value this process reports to a
+	// given peer in a given round, modelling byzantine equivocation. The
+	// element parameter is whose value is being (mis)relayed.
+	Lie func(round int, to types.NodeID, element types.NodeID, truth string) string
+}
+
+// Result is one process's final vector, indexed by process ID.
+type Result map[types.NodeID]string
+
+// Run executes the two-round exchange among procs and returns the result
+// vector computed by each honest process (faulty processes get no entry:
+// the algorithm makes no promises about them).
+func Run(procs []*Process) map[types.NodeID]Result {
+	// Round 1: everyone sends its value to everyone else. received1[j][i]
+	// is what j heard from i about i's own value.
+	received1 := make(map[types.NodeID]map[types.NodeID]string, len(procs))
+	for _, p := range procs {
+		received1[p.ID] = make(map[types.NodeID]string, len(procs))
+	}
+	for _, from := range procs {
+		for _, to := range procs {
+			v := from.Value
+			if from.Lie != nil {
+				v = from.Lie(1, to.ID, from.ID, v)
+			}
+			received1[to.ID][from.ID] = v
+		}
+	}
+
+	// Round 2: everyone relays its whole vector to everyone else.
+	// received2[j][k][i] is what j heard from k about i's value.
+	received2 := make(map[types.NodeID]map[types.NodeID]map[types.NodeID]string, len(procs))
+	for _, p := range procs {
+		received2[p.ID] = make(map[types.NodeID]map[types.NodeID]string, len(procs))
+	}
+	for _, from := range procs {
+		for _, to := range procs {
+			relay := make(map[types.NodeID]string, len(procs))
+			for id, v := range received1[from.ID] {
+				if from.Lie != nil {
+					v = from.Lie(2, to.ID, id, v)
+				}
+				relay[id] = v
+			}
+			received2[to.ID][from.ID] = relay
+		}
+	}
+
+	// Round 3 (local): per-element majority, element i decided as in
+	// OM(1) with i as commander. Process j's votes for element i are
+	// i's direct round-1 value plus the round-2 relays from every third
+	// party k ∉ {i, j}. Excluding i's own round-2 relay is what makes a
+	// faulty element resolve identically everywhere: all honest
+	// processes then vote over the same multiset of round-1 lies.
+	// Including j's own round-1 reception (and nothing else from j) is
+	// what preserves honest values at N = 3f+1 and loses them below it —
+	// the slides' Case I versus Case II.
+	results := make(map[types.NodeID]Result, len(procs))
+	for _, j := range procs {
+		if j.Lie != nil {
+			continue
+		}
+		res := make(Result, len(procs))
+		for _, i := range procs {
+			if i.ID == j.ID {
+				res[i.ID] = j.Value
+				continue
+			}
+			counts := map[string]int{}
+			votes := 0
+			if v, ok := received1[j.ID][i.ID]; ok {
+				counts[v]++
+				votes++
+			}
+			for _, k := range procs {
+				if k.ID == j.ID || k.ID == i.ID {
+					continue
+				}
+				if v, ok := received2[j.ID][k.ID][i.ID]; ok {
+					counts[v]++
+					votes++
+				}
+			}
+			res[i.ID] = majority(counts, votes)
+		}
+		results[j.ID] = res
+	}
+	return results
+}
+
+func majority(counts map[string]int, votes int) string {
+	for v, c := range counts {
+		if 2*c > votes {
+			return v
+		}
+	}
+	return Unknown
+}
+
+// RandomLiar builds a Lie function that reports an arbitrary distinct
+// fabrication to every (round, peer, element) triple, the strongest
+// equivocation the slides illustrate ("x to 1, y to 2, z to 4").
+func RandomLiar(rng *simnet.RNG) func(int, types.NodeID, types.NodeID, string) string {
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	memo := map[[3]int]string{}
+	return func(round int, to types.NodeID, element types.NodeID, truth string) string {
+		k := [3]int{round, int(to), int(element)}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		v := string(letters[rng.Intn(len(letters))]) + string(letters[rng.Intn(len(letters))])
+		memo[k] = v
+		return v
+	}
+}
+
+// AgreeOnHonest reports whether every pair of honest results agrees on
+// every element, and whether each honest process's own value survived
+// (validity).
+func AgreeOnHonest(procs []*Process, results map[types.NodeID]Result) (agreement, validity bool) {
+	agreement, validity = true, true
+	honest := make([]*Process, 0, len(procs))
+	for _, p := range procs {
+		if p.Lie == nil {
+			honest = append(honest, p)
+		}
+	}
+	for _, p := range honest {
+		for _, q := range honest {
+			for _, e := range procs {
+				if results[p.ID][e.ID] != results[q.ID][e.ID] {
+					agreement = false
+				}
+			}
+		}
+	}
+	for _, p := range honest {
+		for _, q := range honest {
+			if results[p.ID][q.ID] != q.Value {
+				validity = false
+			}
+		}
+	}
+	return agreement, validity
+}

@@ -1,0 +1,113 @@
+package icagree
+
+import (
+	"fortyconsensus/internal/types"
+)
+
+// This file implements the full recursive Oral Messages algorithm OM(m)
+// of Lamport, Shostak & Pease — the general form behind the slides'
+// two-round walkthrough. OM(m) tolerates m byzantine faults with
+// N ≥ 3m+1 processes and m+1 rounds; interactive consistency runs OM(m)
+// once per process as commander.
+//
+// OM(0):  the commander sends its value; every lieutenant uses it.
+// OM(m):  the commander sends its value to every lieutenant; each
+//         lieutenant then acts as commander in OM(m−1) to relay what it
+//         received to the others; each lieutenant decides by majority
+//         over {its direct value} ∪ {the OM(m−1) relays}.
+
+// omPath identifies a relay chain (commander, then relayers) so a liar
+// can equivocate per-path, the strongest oral-messages adversary.
+type omPath []types.NodeID
+
+// omSend asks process p to report value v for the given path to process
+// to; faulty processes consult their Lie function with a synthetic round
+// derived from the path depth.
+func omSend(p *Process, path omPath, to types.NodeID, v string) string {
+	if p.Lie == nil {
+		return v
+	}
+	// Encode the path depth as the round and the original commander as
+	// the element, so RandomLiar produces stable per-(depth,target)
+	// fabrications.
+	return p.Lie(len(path), to, path[0], v)
+}
+
+// om recursively executes OM(m) with the given commander over the
+// lieutenants, returning each lieutenant's decided value for the
+// commander's input.
+func om(m int, commander *Process, lieutenants []*Process, byID map[types.NodeID]*Process, value string, path omPath) map[types.NodeID]string {
+	result := make(map[types.NodeID]string, len(lieutenants))
+	if m == 0 {
+		for _, l := range lieutenants {
+			result[l.ID] = omSend(commander, path, l.ID, value)
+		}
+		return result
+	}
+	// Step 1: the commander sends (possibly different) values.
+	direct := make(map[types.NodeID]string, len(lieutenants))
+	for _, l := range lieutenants {
+		direct[l.ID] = omSend(commander, path, l.ID, value)
+	}
+	// Step 2: each lieutenant relays via OM(m-1) to the others.
+	relayed := make(map[types.NodeID]map[types.NodeID]string, len(lieutenants))
+	for _, relay := range lieutenants {
+		rest := make([]*Process, 0, len(lieutenants)-1)
+		for _, l := range lieutenants {
+			if l.ID != relay.ID {
+				rest = append(rest, l)
+			}
+		}
+		sub := om(m-1, relay, rest, byID, direct[relay.ID], append(append(omPath{}, path...), relay.ID))
+		for id, v := range sub {
+			if relayed[id] == nil {
+				relayed[id] = make(map[types.NodeID]string)
+			}
+			relayed[id][relay.ID] = v
+		}
+	}
+	// Step 3: majority over direct value + relays.
+	for _, l := range lieutenants {
+		counts := map[string]int{direct[l.ID]: 1}
+		votes := 1
+		for _, v := range relayed[l.ID] {
+			counts[v]++
+			votes++
+		}
+		result[l.ID] = majority(counts, votes)
+	}
+	return result
+}
+
+// RunOM executes interactive consistency via OM(m): every process acts
+// as commander for its own value, and each honest process assembles the
+// full result vector. It generalizes Run (which is the m=1 special case
+// the slides walk through) to any fault budget.
+func RunOM(m int, procs []*Process) map[types.NodeID]Result {
+	byID := make(map[types.NodeID]*Process, len(procs))
+	for _, p := range procs {
+		byID[p.ID] = p
+	}
+	results := make(map[types.NodeID]Result)
+	for _, p := range procs {
+		if p.Lie == nil {
+			results[p.ID] = make(Result, len(procs))
+			results[p.ID][p.ID] = p.Value
+		}
+	}
+	for _, commander := range procs {
+		lieutenants := make([]*Process, 0, len(procs)-1)
+		for _, p := range procs {
+			if p.ID != commander.ID {
+				lieutenants = append(lieutenants, p)
+			}
+		}
+		decided := om(m, commander, lieutenants, byID, commander.Value, omPath{commander.ID})
+		for id, v := range decided {
+			if res, ok := results[id]; ok {
+				res[commander.ID] = v
+			}
+		}
+	}
+	return results
+}

@@ -1,0 +1,104 @@
+package icagree
+
+import (
+	"fmt"
+	"testing"
+
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+// buildProcs makes n processes with the last `liars` of them byzantine.
+func buildProcs(n, liars int, rng *simnet.RNG) []*Process {
+	procs := make([]*Process, n)
+	for i := 0; i < n; i++ {
+		procs[i] = &Process{ID: types.NodeID(i + 1), Value: fmt.Sprintf("v%d", i+1)}
+		if i >= n-liars {
+			procs[i].Lie = RandomLiar(rng)
+		}
+	}
+	return procs
+}
+
+func TestOMMatchesSimpleAlgorithmAtF1(t *testing.T) {
+	// OM(1) over N=4 must give the same guarantee as the slides' Run.
+	for seed := uint64(0); seed < 50; seed++ {
+		rng := simnet.NewRNG(seed)
+		procs := buildProcs(4, 1, rng)
+		res := RunOM(1, procs)
+		agree, valid := AgreeOnHonest(procs, res)
+		if !agree || !valid {
+			t.Fatalf("seed %d: OM(1) at N=4 failed (agree=%v valid=%v)", seed, agree, valid)
+		}
+	}
+}
+
+func TestOM2ToleratesTwoLiarsAtSeven(t *testing.T) {
+	// N = 7 = 3·2+1: OM(2) holds agreement+validity with two byzantine
+	// processes equivocating per relay path.
+	for seed := uint64(0); seed < 25; seed++ {
+		rng := simnet.NewRNG(seed + 100)
+		procs := buildProcs(7, 2, rng)
+		res := RunOM(2, procs)
+		agree, valid := AgreeOnHonest(procs, res)
+		if !agree || !valid {
+			t.Fatalf("seed %d: OM(2) at N=7 failed (agree=%v valid=%v)", seed, agree, valid)
+		}
+	}
+}
+
+func TestOM2FailsBelowBoundAtSix(t *testing.T) {
+	// N = 6 < 3·2+1: two liars break the exchange for some behaviours.
+	broken := 0
+	for seed := uint64(0); seed < 50; seed++ {
+		rng := simnet.NewRNG(seed + 500)
+		procs := buildProcs(6, 2, rng)
+		res := RunOM(2, procs)
+		agree, valid := AgreeOnHonest(procs, res)
+		if !agree || !valid {
+			broken++
+		}
+	}
+	if broken == 0 {
+		t.Fatal("N=6,f=2 never failed — the 3m+1 bound should bite")
+	}
+}
+
+func TestOM1FailsAtThree(t *testing.T) {
+	broken := 0
+	for seed := uint64(0); seed < 50; seed++ {
+		rng := simnet.NewRNG(seed + 900)
+		procs := buildProcs(3, 1, rng)
+		res := RunOM(1, procs)
+		agree, valid := AgreeOnHonest(procs, res)
+		if !agree || !valid {
+			broken++
+		}
+	}
+	if broken == 0 {
+		t.Fatal("N=3,f=1 never failed under OM(1)")
+	}
+}
+
+func TestOM0IsDirectDelivery(t *testing.T) {
+	procs := buildProcs(4, 0, simnet.NewRNG(1))
+	res := RunOM(0, procs)
+	for _, p := range procs {
+		for _, q := range procs {
+			if res[p.ID][q.ID] != q.Value {
+				t.Fatalf("OM(0) all-honest: element %v at %v = %q", q.ID, p.ID, res[p.ID][q.ID])
+			}
+		}
+	}
+}
+
+func TestOMHigherMarginStillAgrees(t *testing.T) {
+	// Over-provisioned: N=7 with a single liar under OM(2).
+	rng := simnet.NewRNG(7)
+	procs := buildProcs(7, 1, rng)
+	res := RunOM(2, procs)
+	agree, valid := AgreeOnHonest(procs, res)
+	if !agree || !valid {
+		t.Fatal("OM(2) failed with margin to spare")
+	}
+}

@@ -1,0 +1,13 @@
+package experiments
+
+import "testing"
+
+func TestX2Runs(t *testing.T) {
+	art := grab(t, "x2")
+	t.Log("\n" + art)
+}
+
+func TestX1Runs(t *testing.T) {
+	art := grab(t, "x1")
+	t.Log("\n" + art)
+}

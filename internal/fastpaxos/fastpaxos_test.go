@@ -1,0 +1,214 @@
+package fastpaxos
+
+import (
+	"fmt"
+	"testing"
+
+	"fortyconsensus/internal/runner"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+type cluster struct {
+	*runner.Cluster[Message]
+	nodes []*Node
+	cfg   Config
+}
+
+func newCluster(f int, fabric *simnet.Fabric, cfg Config) *cluster {
+	cfg.F = f
+	cfg = cfg.withDefaults()
+	rc := runner.New(runner.Config[Message]{Fabric: fabric, Dest: Dest, Src: Src, Kind: Kind})
+	c := &cluster{Cluster: rc, cfg: cfg}
+	for i := 0; i < cfg.N(); i++ {
+		n := NewNode(types.NodeID(i), cfg)
+		c.nodes = append(c.nodes, n)
+		rc.Add(types.NodeID(i), n)
+	}
+	return c
+}
+
+// propose sends a client value directly to every acceptor — the slide's
+// "the client sends its request to multiple destinations".
+func (c *cluster) propose(v types.Value) {
+	for i := range c.nodes {
+		c.Inject(Message{Kind: MsgPropose, From: -1, To: types.NodeID(i), Val: v})
+	}
+}
+
+func (c *cluster) agreement(t *testing.T) (types.Value, int) {
+	t.Helper()
+	var val types.Value
+	decided := 0
+	for _, n := range c.nodes {
+		if v, ok := n.Decided(); ok {
+			decided++
+			if val == nil {
+				val = v
+			} else if !val.Equal(v) {
+				t.Fatalf("divergent decisions: %q vs %q", val, v)
+			}
+		}
+	}
+	return val, decided
+}
+
+func TestFastRoundSingleClient(t *testing.T) {
+	c := newCluster(1, nil, Config{})
+	c.propose(types.Value("solo"))
+	ok := c.RunUntil(func() bool { _, d := c.agreement(t); return d >= c.cfg.N() }, 300)
+	if !ok {
+		t.Fatal("not everyone learned")
+	}
+	v, _ := c.agreement(t)
+	if !v.Equal(types.Value("solo")) {
+		t.Fatalf("decided %q", v)
+	}
+	if c.nodes[0].ClassicRounds() != 0 {
+		t.Fatal("fast round escalated needlessly")
+	}
+	// No prepare/accept traffic on the fast path.
+	st := c.Stats()
+	if st.ByKind["prepare"] != 0 || st.ByKind["accept"] != 0 {
+		t.Fatalf("fast path ran classic phases: %v", st.ByKind)
+	}
+}
+
+func TestFastRoundTwoDelays(t *testing.T) {
+	// Fast path latency: propose(1 tick) + fast-vote(1 tick) ⇒ the
+	// coordinator decides by tick 3 (inject adds one).
+	c := newCluster(1, nil, Config{})
+	c.propose(types.Value("quick"))
+	decidedAt := -1
+	c.RunUntil(func() bool {
+		if _, ok := c.nodes[0].Decided(); ok && decidedAt < 0 {
+			decidedAt = c.Now()
+		}
+		return decidedAt >= 0
+	}, 100)
+	if decidedAt > 3 {
+		t.Fatalf("fast decision at tick %d, want ≤ 3 (2 message delays)", decidedAt)
+	}
+}
+
+func TestCollisionTriggersClassicRound(t *testing.T) {
+	// Two concurrent clients split the acceptors: deliver A to half,
+	// B to the other half, so no fast quorum forms.
+	c := newCluster(1, nil, Config{RecoveryTimeout: 8})
+	for i := 0; i < c.cfg.N(); i++ {
+		v := types.Value("AAA")
+		if i%2 == 1 {
+			v = types.Value("BBB")
+		}
+		c.Inject(Message{Kind: MsgPropose, From: -1, To: types.NodeID(i), Val: v})
+	}
+	ok := c.RunUntil(func() bool { _, d := c.agreement(t); return d >= 3 }, 1000)
+	if !ok {
+		t.Fatal("collision never resolved")
+	}
+	if c.nodes[0].ClassicRounds() == 0 {
+		t.Fatal("no classic round despite collision")
+	}
+	v, _ := c.agreement(t)
+	if !v.Equal(types.Value("AAA")) && !v.Equal(types.Value("BBB")) {
+		t.Fatalf("decided unproposed value %q", v)
+	}
+	st := c.Stats()
+	if st.ByKind["prepare"] == 0 || st.ByKind["accept"] == 0 {
+		t.Fatalf("classic round traffic missing: %v", st.ByKind)
+	}
+}
+
+func TestPossiblyChosenValueRecovered(t *testing.T) {
+	// A value that reached a fast quorum must be decided even if the
+	// coordinator misses some votes and falls into recovery: the
+	// prepare quorum intersects the fast quorum in f+1 acceptors, so
+	// the plurality rule finds it.
+	c := newCluster(1, nil, Config{RecoveryTimeout: 5})
+	// Deliver "WIN" to 3 acceptors (a fast quorum: 2f+1=3), "LOSE" to 1.
+	for i := 0; i < 3; i++ {
+		c.Inject(Message{Kind: MsgPropose, From: -1, To: types.NodeID(i), Val: types.Value("WIN")})
+	}
+	c.Inject(Message{Kind: MsgPropose, From: -1, To: 3, Val: types.Value("LOSE")})
+	// Drop all fast votes to the coordinator so it must run recovery.
+	for i := 1; i < 4; i++ {
+		id := types.NodeID(i)
+		c.Intercept(id, func(m Message) []Message {
+			if m.Kind == MsgFastVote {
+				return nil
+			}
+			return []Message{m}
+		})
+	}
+	ok := c.RunUntil(func() bool { _, d := c.agreement(t); return d >= 3 }, 1000)
+	if !ok {
+		t.Fatal("recovery never decided")
+	}
+	v, _ := c.agreement(t)
+	if !v.Equal(types.Value("WIN")) {
+		t.Fatalf("recovery chose %q, but WIN may have been chosen", v)
+	}
+}
+
+func TestSafetyUnderManySchedules(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		fab := simnet.NewFabric(simnet.Options{MinDelay: 1, MaxDelay: 6, DropRate: 0.1, Seed: seed})
+		c := newCluster(1, fab, Config{RecoveryTimeout: 10})
+		rng := simnet.NewRNG(seed)
+		// 3 concurrent clients, each value to every acceptor in random
+		// order (the fabric scrambles arrival).
+		for cl := 0; cl < 3; cl++ {
+			v := types.Value(fmt.Sprintf("client-%d", cl))
+			for _, i := range rng.Perm(c.cfg.N()) {
+				c.Inject(Message{Kind: MsgPropose, From: -1, To: types.NodeID(i), Val: v})
+			}
+		}
+		c.RunUntil(func() bool { _, d := c.agreement(t); return d >= 1 }, 3000)
+		c.Run(100)
+		v, d := c.agreement(t) // Fatals on divergence.
+		if d == 0 {
+			t.Fatalf("seed %d: nothing decided", seed)
+		}
+		if v == nil {
+			t.Fatalf("seed %d: nil decision", seed)
+		}
+	}
+}
+
+func TestCrashToleranceDuringFastRound(t *testing.T) {
+	// f crashes among 3f+1 must not block the fast round: quorum 2f+1
+	// remains reachable.
+	c := newCluster(1, nil, Config{})
+	c.Crash(3)
+	c.propose(types.Value("resilient"))
+	ok := c.RunUntil(func() bool { _, d := c.agreement(t); return d >= 3 }, 500)
+	if !ok {
+		t.Fatal("fast round blocked by f crashes")
+	}
+}
+
+func TestAcceptorVotesOnce(t *testing.T) {
+	n := NewNode(1, Config{F: 1}.withDefaults())
+	n.Step(Message{Kind: MsgPropose, From: -1, To: 1, Val: types.Value("first")})
+	n.Drain()
+	n.Step(Message{Kind: MsgPropose, From: -1, To: 1, Val: types.Value("second")})
+	out := n.Drain()
+	if len(out) != 0 {
+		t.Fatalf("acceptor voted twice: %+v", out)
+	}
+	if !n.votedVal.Equal(types.Value("first")) {
+		t.Fatal("vote changed")
+	}
+}
+
+func TestClassicBallotBlocksFastVotes(t *testing.T) {
+	// After promising a classic ballot, an acceptor must refuse fast
+	// proposals (they belong to the superseded round).
+	n := NewNode(1, Config{F: 1}.withDefaults())
+	n.Step(Message{Kind: MsgPrepare, From: 0, To: 1, Ballot: types.Ballot{Num: 1, Owner: 0}})
+	n.Drain()
+	n.Step(Message{Kind: MsgPropose, From: -1, To: 1, Val: types.Value("late")})
+	if n.votedVal != nil {
+		t.Fatal("fast vote accepted after classic promise")
+	}
+}

@@ -1,0 +1,461 @@
+// Package flexpaxos implements Flexible Paxos (Howard, Malkhi &
+// Spiegelman, OPODIS 2016) as the paper presents it: "it is not
+// necessary to require all quorums in Paxos to intersect" — only
+// leader-election (phase 1) quorums and replication (phase 2) quorums
+// must intersect, so Q1 + Q2 > N. Replication quorums can shrink
+// arbitrarily as long as leader-election quorums grow to compensate,
+// trading rare leader-change cost for cheap steady-state commits, with
+// *no changes to the Paxos message flow*.
+//
+// The implementation is a multi-slot Paxos parameterized by a
+// quorum.Flexible system: phase 1 tallies to Q1, phase 2 tallies to Q2.
+// Setting Q1 = Q2 = majority recovers classic Multi-Paxos.
+//
+// Profile: partially-synchronous, crash, pessimistic, known, 2f+1 nodes
+// (f now bounded by min(N−Q1, N−Q2)), 2 phases, O(N).
+package flexpaxos
+
+import (
+	"fmt"
+	"sort"
+
+	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/quorum"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+func init() {
+	core.Register(core.Profile{
+		Name:                 "flexpaxos",
+		Synchrony:            core.PartiallySynchronous,
+		Failure:              core.Crash,
+		Strategy:             core.Pessimistic,
+		Awareness:            core.KnownParticipants,
+		NodesFor:             func(f int) int { return 2*f + 1 },
+		NodesFormula:         "2f+1 (Q1+Q2 > N)",
+		QuorumFor:            func(f int) int { return f + 1 },
+		CommitPhases:         1,
+		AltPhases:            2,
+		Complexity:           core.Linear,
+		ViewChangeComplexity: core.Linear,
+		Decomposition: []core.Phase{
+			core.LeaderElection, core.ValueDiscovery, core.FTAgreement, core.Decision,
+		},
+		Notes: "decoupled election/replication quorums; smaller Q2 ⇒ cheaper commits",
+	})
+}
+
+// MsgKind enumerates Flexible Paxos message types (identical flow to
+// Multi-Paxos — the point of the paper).
+type MsgKind uint8
+
+const (
+	MsgPrepare MsgKind = iota + 1
+	MsgAck
+	MsgNack
+	MsgAccept
+	MsgAccepted
+	MsgCommit
+	MsgSubmit
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgPrepare:
+		return "prepare"
+	case MsgAck:
+		return "ack"
+	case MsgNack:
+		return "nack"
+	case MsgAccept:
+		return "accept"
+	case MsgAccepted:
+		return "accepted"
+	case MsgCommit:
+		return "commit"
+	case MsgSubmit:
+		return "submit"
+	}
+	return fmt.Sprintf("MsgKind(%d)", uint8(k))
+}
+
+// Entry reports an accepted slot during recovery.
+type Entry struct {
+	Slot      types.Seq
+	AcceptNum types.Ballot
+	Val       types.Value
+}
+
+// Message is a Flexible Paxos wire message.
+type Message struct {
+	Kind     MsgKind
+	From, To types.NodeID
+	Ballot   types.Ballot
+	Slot     types.Seq
+	Val      types.Value
+	Entries  []Entry
+}
+
+// Runner accessors.
+func Src(m Message) types.NodeID  { return m.From }
+func Dest(m Message) types.NodeID { return m.To }
+func Kind(m Message) string       { return m.Kind.String() }
+
+// Config fixes the quorum system.
+type Config struct {
+	Quorums quorum.Flexible
+	// ElectionTimeoutTicks is the follower timeout base. Default 30.
+	ElectionTimeoutTicks int
+	// HeartbeatTicks is the leader heartbeat... Flexible Paxos keeps
+	// the Paxos flow, so the commit broadcast doubles as liveness; a
+	// dedicated heartbeat rides on empty Accept messages. Default 8.
+	HeartbeatTicks int
+	// Seed seeds per-node jitter.
+	Seed uint64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if !c.Quorums.Valid() {
+		return c, fmt.Errorf("flexpaxos: invalid quorum system %s", c.Quorums.Describe())
+	}
+	if c.ElectionTimeoutTicks <= 0 {
+		c.ElectionTimeoutTicks = 30
+	}
+	if c.HeartbeatTicks <= 0 {
+		c.HeartbeatTicks = 8
+	}
+	return c, nil
+}
+
+type role uint8
+
+const (
+	follower role = iota
+	candidate
+	leader
+)
+
+type slotState struct {
+	val   types.Value
+	votes *quorum.Tally
+}
+
+type acceptedEntry struct {
+	num types.Ballot
+	val types.Value
+}
+
+// Node is one Flexible Paxos replica.
+type Node struct {
+	id  types.NodeID
+	cfg Config
+	rng *simnet.RNG
+
+	role   role
+	ballot types.Ballot
+	lead   types.NodeID
+
+	accepted  map[types.Seq]acceptedEntry
+	chosen    map[types.Seq]types.Value
+	commitSeq types.Seq
+	decisions []types.Decision
+
+	curBallot types.Ballot
+	prepAcks  *quorum.Tally
+	recovered map[types.Seq]acceptedEntry
+	inflight  map[types.Seq]*slotState
+	nextSlot  types.Seq
+	queued    []types.Value
+
+	electionIn int
+	hbIn       int
+	elections  int
+
+	out []Message
+}
+
+// New builds a replica; it returns an error for invalid quorum systems
+// (Q1+Q2 ≤ N), which would lose committed values on leader change.
+func New(id types.NodeID, cfg Config) (*Node, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		id:       id,
+		cfg:      cfg,
+		rng:      simnet.NewRNG(cfg.Seed ^ (uint64(id)+3)<<18),
+		lead:     -1,
+		accepted: make(map[types.Seq]acceptedEntry),
+		chosen:   make(map[types.Seq]types.Value),
+		nextSlot: 1,
+	}
+	n.resetTimer()
+	return n, nil
+}
+
+func (n *Node) resetTimer() {
+	n.electionIn = n.cfg.ElectionTimeoutTicks + n.rng.Intn(n.cfg.ElectionTimeoutTicks)
+}
+
+func (n *Node) send(m Message) {
+	m.From = n.id
+	n.out = append(n.out, m)
+}
+
+func (n *Node) broadcast(m Message) {
+	for i := 0; i < n.cfg.Quorums.N; i++ {
+		if types.NodeID(i) == n.id {
+			continue
+		}
+		mm := m
+		mm.To = types.NodeID(i)
+		n.send(mm)
+	}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() types.NodeID { return n.id }
+
+// IsLeader reports whether this node leads.
+func (n *Node) IsLeader() bool { return n.role == leader }
+
+// Elections returns how many elections this node started.
+func (n *Node) Elections() int { return n.elections }
+
+// CommitFrontier returns the contiguous commit frontier.
+func (n *Node) CommitFrontier() types.Seq { return n.commitSeq }
+
+// TakeDecisions drains committed decisions in order.
+func (n *Node) TakeDecisions() []types.Decision {
+	d := n.decisions
+	n.decisions = nil
+	return d
+}
+
+// Submit hands a value to the cluster via this node.
+func (n *Node) Submit(v types.Value) {
+	switch {
+	case n.role == leader:
+		n.propose(v)
+	case n.lead >= 0 && n.lead != n.id:
+		n.send(Message{Kind: MsgSubmit, To: n.lead, Val: v.Clone()})
+	default:
+		n.queued = append(n.queued, v.Clone())
+	}
+}
+
+func (n *Node) propose(v types.Value) {
+	slot := n.nextSlot
+	n.nextSlot++
+	st := &slotState{val: v.Clone(), votes: quorum.NewTally(n.cfg.Quorums.Threshold())}
+	n.inflight[slot] = st
+	n.accepted[slot] = acceptedEntry{num: n.curBallot, val: v.Clone()}
+	st.votes.Add(n.id)
+	n.broadcast(Message{Kind: MsgAccept, Ballot: n.curBallot, Slot: slot, Val: v.Clone()})
+	n.checkSlot(slot, st)
+}
+
+func (n *Node) campaign() {
+	n.elections++
+	n.role = candidate
+	n.ballot = n.ballot.Next(n.id)
+	n.curBallot = n.ballot
+	// Phase 1 needs the *large* quorum Q1.
+	n.prepAcks = quorum.NewTally(n.cfg.Quorums.Phase1())
+	n.recovered = make(map[types.Seq]acceptedEntry)
+	for s, e := range n.accepted {
+		n.recovered[s] = e
+	}
+	n.prepAcks.Add(n.id)
+	n.resetTimer()
+	n.broadcast(Message{Kind: MsgPrepare, Ballot: n.curBallot})
+	if n.prepAcks.Reached() {
+		n.becomeLeader()
+	}
+}
+
+// Step consumes one delivered message.
+func (n *Node) Step(m Message) {
+	switch m.Kind {
+	case MsgPrepare:
+		n.onPrepare(m)
+	case MsgAck:
+		n.onAck(m)
+	case MsgNack:
+		if n.ballot.Less(m.Ballot) {
+			n.ballot = m.Ballot
+			n.role = follower
+			n.lead = -1
+			n.resetTimer()
+		}
+	case MsgAccept:
+		n.onAccept(m)
+	case MsgAccepted:
+		n.onAccepted(m)
+	case MsgCommit:
+		n.learn(m.Slot, m.Val)
+	case MsgSubmit:
+		if n.role == leader {
+			n.propose(m.Val)
+		} else if n.lead >= 0 && n.lead != n.id {
+			n.send(Message{Kind: MsgSubmit, To: n.lead, Val: m.Val})
+		} else {
+			n.queued = append(n.queued, m.Val.Clone())
+		}
+	}
+}
+
+func (n *Node) onPrepare(m Message) {
+	if n.ballot.LessEq(m.Ballot) {
+		n.ballot = m.Ballot
+		n.role = follower
+		n.lead = m.From
+		n.resetTimer()
+		// Report the FULL accepted log, not just the uncommitted tail: a
+		// new leader may lag behind the commit frontier, and a slot
+		// chosen by a small Q2 quorum is only guaranteed visible through
+		// the accepted entry of some Q1∩Q2 intersection node.
+		entries := make([]Entry, 0, len(n.accepted))
+		for s, e := range n.accepted {
+			entries = append(entries, Entry{Slot: s, AcceptNum: e.num, Val: e.val.Clone()})
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Slot < entries[j].Slot })
+		n.send(Message{Kind: MsgAck, To: m.From, Ballot: m.Ballot, Entries: entries})
+		return
+	}
+	n.send(Message{Kind: MsgNack, To: m.From, Ballot: n.ballot})
+}
+
+func (n *Node) onAck(m Message) {
+	if n.role != candidate || m.Ballot != n.curBallot {
+		return
+	}
+	for _, e := range m.Entries {
+		if cur, ok := n.recovered[e.Slot]; !ok || cur.num.Less(e.AcceptNum) {
+			n.recovered[e.Slot] = acceptedEntry{num: e.AcceptNum, val: e.Val.Clone()}
+		}
+	}
+	if n.prepAcks.Add(m.From) {
+		n.becomeLeader()
+	}
+}
+
+func (n *Node) becomeLeader() {
+	if n.role == leader {
+		return
+	}
+	n.role = leader
+	n.lead = n.id
+	n.inflight = make(map[types.Seq]*slotState)
+	n.nextSlot = n.commitSeq + 1
+	slots := make([]types.Seq, 0, len(n.recovered))
+	for s := range n.recovered {
+		if s > n.commitSeq {
+			slots = append(slots, s)
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, s := range slots {
+		if s >= n.nextSlot {
+			n.nextSlot = s + 1
+		}
+	}
+	for s := n.commitSeq + 1; s < n.nextSlot; s++ {
+		e, ok := n.recovered[s]
+		if !ok {
+			e = acceptedEntry{}
+		}
+		st := &slotState{val: e.val.Clone(), votes: quorum.NewTally(n.cfg.Quorums.Threshold())}
+		n.inflight[s] = st
+		n.accepted[s] = acceptedEntry{num: n.curBallot, val: e.val.Clone()}
+		st.votes.Add(n.id)
+		n.broadcast(Message{Kind: MsgAccept, Ballot: n.curBallot, Slot: s, Val: e.val.Clone()})
+		n.checkSlot(s, st)
+	}
+	queued := n.queued
+	n.queued = nil
+	for _, v := range queued {
+		n.propose(v)
+	}
+	n.hbIn = 0
+}
+
+func (n *Node) onAccept(m Message) {
+	if n.ballot.LessEq(m.Ballot) {
+		n.ballot = m.Ballot
+		n.role = follower
+		n.lead = m.From
+		n.resetTimer()
+		if m.Slot == 0 { // heartbeat
+			return
+		}
+		n.accepted[m.Slot] = acceptedEntry{num: m.Ballot, val: m.Val.Clone()}
+		n.send(Message{Kind: MsgAccepted, To: m.From, Ballot: m.Ballot, Slot: m.Slot})
+		return
+	}
+	n.send(Message{Kind: MsgNack, To: m.From, Ballot: n.ballot})
+}
+
+func (n *Node) onAccepted(m Message) {
+	if n.role != leader || m.Ballot != n.curBallot {
+		return
+	}
+	st, ok := n.inflight[m.Slot]
+	if !ok {
+		return
+	}
+	st.votes.Add(m.From)
+	n.checkSlot(m.Slot, st)
+}
+
+func (n *Node) checkSlot(slot types.Seq, st *slotState) {
+	if !st.votes.Reached() {
+		return
+	}
+	delete(n.inflight, slot)
+	n.learn(slot, st.val)
+	n.broadcast(Message{Kind: MsgCommit, Slot: slot, Val: st.val.Clone()})
+}
+
+func (n *Node) learn(slot types.Seq, val types.Value) {
+	if prev, ok := n.chosen[slot]; ok {
+		if !prev.Equal(val) {
+			panic(fmt.Sprintf("flexpaxos: node %v slot %d chosen twice: %q vs %q", n.id, slot, prev, val))
+		}
+		return
+	}
+	n.chosen[slot] = val.Clone()
+	for {
+		v, ok := n.chosen[n.commitSeq+1]
+		if !ok {
+			return
+		}
+		n.commitSeq++
+		n.decisions = append(n.decisions, types.Decision{Slot: n.commitSeq, Val: v})
+	}
+}
+
+// Tick drives elections and leader heartbeats.
+func (n *Node) Tick() {
+	if n.role == leader {
+		n.hbIn--
+		if n.hbIn <= 0 {
+			n.hbIn = n.cfg.HeartbeatTicks
+			n.broadcast(Message{Kind: MsgAccept, Ballot: n.curBallot, Slot: 0})
+		}
+		return
+	}
+	n.electionIn--
+	if n.electionIn <= 0 {
+		n.campaign()
+	}
+}
+
+// Drain returns pending outbound messages.
+func (n *Node) Drain() []Message {
+	out := n.out
+	n.out = nil
+	return out
+}

@@ -1,0 +1,230 @@
+package flexpaxos
+
+import (
+	"testing"
+
+	"fortyconsensus/internal/quorum"
+	"fortyconsensus/internal/runner"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+type cluster struct {
+	*runner.Cluster[Message]
+	nodes []*Node
+}
+
+func newCluster(t *testing.T, q quorum.Flexible, fabric *simnet.Fabric, seed uint64) *cluster {
+	t.Helper()
+	rc := runner.New(runner.Config[Message]{Fabric: fabric, Dest: Dest, Src: Src, Kind: Kind})
+	c := &cluster{Cluster: rc}
+	for i := 0; i < q.N; i++ {
+		n, err := New(types.NodeID(i), Config{Quorums: q, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes = append(c.nodes, n)
+		rc.Add(types.NodeID(i), n)
+	}
+	return c
+}
+
+func (c *cluster) waitLeader(max int) *Node {
+	var lead *Node
+	c.RunUntil(func() bool {
+		for _, n := range c.nodes {
+			if n.IsLeader() && !c.Crashed(n.id) {
+				lead = n
+				return true
+			}
+		}
+		return false
+	}, max)
+	return lead
+}
+
+func TestInvalidQuorumsRejected(t *testing.T) {
+	_, err := New(0, Config{Quorums: quorum.Flexible{N: 5, Q1: 2, Q2: 3}})
+	if err == nil {
+		t.Fatal("non-intersecting quorums accepted")
+	}
+}
+
+func TestMajoritySpecialCase(t *testing.T) {
+	c := newCluster(t, quorum.Flexible{N: 5, Q1: 3, Q2: 3}, nil, 1)
+	lead := c.waitLeader(500)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	lead.Submit(types.Value("classic"))
+	if !c.RunUntil(func() bool { return lead.CommitFrontier() >= 1 }, 200) {
+		t.Fatal("no commit")
+	}
+}
+
+func TestSmallReplicationQuorum(t *testing.T) {
+	// Q1=4, Q2=2 over N=5: commits need only 2 acceptors.
+	c := newCluster(t, quorum.Flexible{N: 5, Q1: 4, Q2: 2}, nil, 2)
+	lead := c.waitLeader(500)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	// Crash ALL but the leader and one other node: Q2=2 still commits
+	// (a majority system would stall with 2 of 5).
+	alive := 0
+	for _, n := range c.nodes {
+		if n.id != lead.id && alive < 1 {
+			alive++
+			continue
+		}
+		if n.id != lead.id {
+			c.Crash(n.id)
+		}
+	}
+	lead.Submit(types.Value("two-node-commit"))
+	if !c.RunUntil(func() bool { return lead.CommitFrontier() >= 1 }, 300) {
+		t.Fatal("Q2=2 could not commit with 2 live nodes")
+	}
+}
+
+func TestMajorityWouldStallWhereFlexCommits(t *testing.T) {
+	// Control: with majority quorums, 2 live nodes of 5 cannot commit.
+	c := newCluster(t, quorum.Flexible{N: 5, Q1: 3, Q2: 3}, nil, 3)
+	lead := c.waitLeader(500)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	kept := false
+	for _, n := range c.nodes {
+		if n.id == lead.id {
+			continue
+		}
+		if !kept {
+			kept = true
+			continue
+		}
+		c.Crash(n.id)
+	}
+	lead.Submit(types.Value("stuck"))
+	c.Run(300)
+	if lead.CommitFrontier() >= 1 {
+		t.Fatal("majority quorum committed with only 2 live nodes?!")
+	}
+}
+
+func TestLeaderChangeRecoversSmallQuorumCommits(t *testing.T) {
+	// The FPaxos safety argument: a value committed by Q2=2 must be
+	// found by any new leader's Q1=4 phase-1 quorum (4+2 > 5).
+	c := newCluster(t, quorum.Flexible{N: 5, Q1: 4, Q2: 2}, nil, 4)
+	lead := c.waitLeader(500)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	lead.Submit(types.Value("precious"))
+	if !c.RunUntil(func() bool { return lead.CommitFrontier() >= 1 }, 200) {
+		t.Fatal("no commit")
+	}
+	c.Crash(lead.id)
+	var next *Node
+	ok := c.RunUntil(func() bool {
+		for _, n := range c.nodes {
+			if n.IsLeader() && !c.Crashed(n.id) {
+				next = n
+				return true
+			}
+		}
+		return false
+	}, 3000)
+	if !ok {
+		t.Fatal("no new leader (Q1=4 needs 4 of the 4 live nodes)")
+	}
+	if !c.RunUntil(func() bool { return next.CommitFrontier() >= 1 }, 1000) {
+		t.Fatal("new leader lost the committed value")
+	}
+	for _, n := range c.nodes {
+		if c.Crashed(n.id) || n.CommitFrontier() < 1 {
+			continue
+		}
+		ds := n.TakeDecisions()
+		if len(ds) > 0 && !ds[0].Val.Equal(types.Value("precious")) {
+			t.Fatalf("node %v slot 1 = %q", n.id, ds[0].Val)
+		}
+	}
+}
+
+func TestReplicationCheaperWithSmallQ2(t *testing.T) {
+	// Messages to commit shrink as Q2 shrinks — F3's claim. The win is
+	// in *wait cost* (how many responses gate the commit); measure
+	// commit latency under a straggler instead of raw counts.
+	latency := func(q2 int) int {
+		q := quorum.Flexible{N: 5, Q1: 5 - q2 + 1, Q2: q2}
+		fab := simnet.NewFabric(simnet.Options{Seed: 9})
+		c := newCluster(t, q, fab, 9)
+		lead := c.waitLeader(500)
+		if lead == nil {
+			t.Fatal("no leader")
+		}
+		// Make three acceptors slow: Q2=2 (leader + 1 fast) dodges them,
+		// Q2=3 (leader + 2) must wait for a straggler.
+		slow := 0
+		for _, n := range c.nodes {
+			if n.id != lead.id && slow < 3 {
+				fab.SetLinkDelay(lead.id, n.id, 40, 50)
+				fab.SetLinkDelay(n.id, lead.id, 40, 50)
+				slow++
+			}
+		}
+		start := c.Now()
+		before := lead.CommitFrontier()
+		lead.Submit(types.Value("probe"))
+		c.RunUntil(func() bool { return lead.CommitFrontier() > before }, 500)
+		return c.Now() - start
+	}
+	fast, slowQ := latency(2), latency(3)
+	if fast >= slowQ {
+		t.Fatalf("small Q2 (%d ticks) not faster than majority (%d ticks) under stragglers", fast, slowQ)
+	}
+}
+
+func TestChaosNoDivergence(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		fab := simnet.NewFabric(simnet.Options{MinDelay: 1, MaxDelay: 5, DropRate: 0.08, Seed: seed})
+		c := newCluster(t, quorum.Flexible{N: 5, Q1: 4, Q2: 2}, fab, seed)
+		rng := simnet.NewRNG(seed + 77)
+		for i := 0; i < 20; i++ {
+			target := c.nodes[rng.Intn(5)]
+			if !c.Crashed(target.id) {
+				target.Submit(types.Value{byte(i)})
+			}
+			c.Run(50)
+			victim := types.NodeID(rng.Intn(5))
+			if c.Crashed(victim) {
+				c.Restart(victim)
+			} else if rng.Bool(0.2) && live(c) > 4 {
+				c.Crash(victim) // Q1=4 needs 4 live: keep ≥4
+			}
+			// The learn() panic is the divergence detector; also check
+			// chosen maps agree pairwise.
+			for i := 0; i < len(c.nodes); i++ {
+				for j := i + 1; j < len(c.nodes); j++ {
+					a, b := c.nodes[i], c.nodes[j]
+					for s, va := range a.chosen {
+						if vb, ok := b.chosen[s]; ok && !va.Equal(vb) {
+							t.Fatalf("seed %d: slot %d diverged", seed, s)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func live(c *cluster) int {
+	n := 0
+	for _, node := range c.nodes {
+		if !c.Crashed(node.id) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,87 @@
+package hotstuff
+
+import (
+	"fortyconsensus/internal/chaincrypto"
+	"fortyconsensus/internal/runner"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/smr"
+	"fortyconsensus/internal/types"
+)
+
+// Cluster bundles 3f+1 HotStuff replicas with SMR executors.
+type Cluster struct {
+	*runner.Cluster[Message]
+	Replicas []*Replica
+	Execs    []*smr.Executor
+	F        int
+}
+
+// NewCluster builds a 3f+1 replica cluster sharing one keyring.
+func NewCluster(f int, fabric *simnet.Fabric, cfg Config, newSM func() smr.StateMachine) *Cluster {
+	n := 3*f + 1
+	cfg.N, cfg.F = n, f
+	if cfg.Keyring == nil {
+		cfg.Keyring = chaincrypto.NewKeyring(n, 0x40757ff)
+	}
+	rc := runner.New(runner.Config[Message]{Fabric: fabric, Dest: Dest, Src: Src, Kind: Kind})
+	c := &Cluster{Cluster: rc, F: f}
+	for i := 0; i < n; i++ {
+		rep := NewReplica(types.NodeID(i), cfg)
+		c.Replicas = append(c.Replicas, rep)
+		rc.Add(types.NodeID(i), rep)
+		if newSM != nil {
+			c.Execs = append(c.Execs, smr.NewExecutor(types.NodeID(i), newSM()))
+		}
+	}
+	return c
+}
+
+// Pump drains decisions into executors and returns replies.
+func (c *Cluster) Pump() []types.Reply {
+	var replies []types.Reply
+	for i, rep := range c.Replicas {
+		for _, d := range rep.TakeDecisions() {
+			if c.Execs != nil {
+				replies = append(replies, c.Execs[i].Commit(d)...)
+			}
+		}
+	}
+	return replies
+}
+
+// RunPumped runs ticks steps, pumping each step.
+func (c *Cluster) RunPumped(ticks int) []types.Reply {
+	var replies []types.Reply
+	for i := 0; i < ticks; i++ {
+		c.Step()
+		replies = append(replies, c.Pump()...)
+	}
+	return replies
+}
+
+// Submit queues a request at every replica (any rotating leader will
+// include it; commit-time dedup keeps it exactly-once).
+func (c *Cluster) Submit(req types.Value) {
+	for i := range c.Replicas {
+		c.Inject(Message{Kind: MsgRequest, From: -1, To: types.NodeID(i), Req: req})
+	}
+}
+
+// MinExecuted returns the lowest committed height among live replicas,
+// skipping the listed byzantine ones.
+func (c *Cluster) MinExecuted(byzantine ...types.NodeID) uint64 {
+	skip := map[types.NodeID]bool{}
+	for _, b := range byzantine {
+		skip[b] = true
+	}
+	min := ^uint64(0)
+	for _, rep := range c.Replicas {
+		if skip[rep.id] || c.Crashed(rep.id) {
+			continue
+		}
+		if rep.ExecutedHeight() < min {
+			min = rep.ExecutedHeight()
+		}
+	}
+	return min
+}

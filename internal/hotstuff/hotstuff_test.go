@@ -1,0 +1,194 @@
+package hotstuff
+
+import (
+	"testing"
+
+	"fortyconsensus/internal/kvstore"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/smr"
+	"fortyconsensus/internal/types"
+)
+
+func kvSM() smr.StateMachine { return kvstore.New() }
+
+func req(client types.ClientID, seq uint64, cmd kvstore.Command) types.Value {
+	return smr.EncodeRequest(types.Request{Client: client, SeqNo: seq, Op: cmd.Encode()})
+}
+
+func TestChainCommitsRequest(t *testing.T) {
+	c := NewCluster(1, nil, Config{ViewTimeout: 10}, kvSM)
+	c.Submit(req(1, 1, kvstore.Put("k", []byte("v"))))
+	ok := c.RunUntil(func() bool {
+		return len(c.Execs[0].Applied()) > 0
+	}, 2000)
+	// Pump inside RunUntil doesn't happen; drive explicitly.
+	if !ok {
+		replies := c.RunPumped(2000)
+		_ = replies
+	}
+	c.Pump()
+	found := false
+	for i := 0; i < 500 && !found; i++ {
+		c.Step()
+		c.Pump()
+		for _, d := range c.Execs[0].Applied() {
+			r, err := smr.DecodeRequest(d.Val)
+			if err == nil && r.SeqNo == 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("request never committed through the chain")
+	}
+	if err := smr.CheckPrefixConsistency(c.Execs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineOneBlockPerView(t *testing.T) {
+	// Steady state: the chain advances one block per view; committed
+	// blocks grow roughly linearly with time.
+	c := NewCluster(1, nil, Config{ViewTimeout: 50}, nil)
+	c.Run(60) // bootstrap past the first timeout
+	start := c.Replicas[0].CommittedBlocks()
+	c.Run(200)
+	grown := c.Replicas[0].CommittedBlocks() - start
+	if grown < 20 {
+		t.Fatalf("pipeline committed only %d blocks in 200 ticks", grown)
+	}
+}
+
+func TestLeaderRotation(t *testing.T) {
+	// Every replica gets to lead: committed blocks come from rotating
+	// views. Views advance by more than n over a run.
+	c := NewCluster(1, nil, Config{ViewTimeout: 30}, nil)
+	c.Run(400)
+	if v := c.Replicas[0].View(); v < 8 {
+		t.Fatalf("views advanced only to %d", v)
+	}
+}
+
+func TestLinearMessageComplexity(t *testing.T) {
+	// Messages per committed block scale ~n, not n².
+	perBlock := func(f int) float64 {
+		c := NewCluster(f, nil, Config{ViewTimeout: 40}, nil)
+		c.Run(80)
+		c.ResetStats()
+		before := c.Replicas[0].CommittedBlocks()
+		c.Run(300)
+		blocks := c.Replicas[0].CommittedBlocks() - before
+		if blocks == 0 {
+			t.Fatal("no blocks committed")
+		}
+		return float64(c.Stats().Sent) / float64(blocks)
+	}
+	m1, m3 := perBlock(1), perBlock(3) // n=4 vs n=10
+	// Linear growth: 2.5× nodes ⇒ ≲ 3.5× messages (quadratic would be 6×+).
+	if m3 > 3.5*m1 {
+		t.Fatalf("message growth superlinear: n=4→%.1f, n=10→%.1f per block", m1, m3)
+	}
+}
+
+func TestSilentReplicaTolerated(t *testing.T) {
+	c := NewCluster(1, nil, Config{ViewTimeout: 15}, kvSM)
+	c.Intercept(3, func(m Message) []Message { return nil })
+	c.Submit(req(1, 1, kvstore.Put("k", []byte("v"))))
+	committed := func() bool {
+		c.Pump()
+		for _, d := range c.Execs[0].Applied() {
+			if r, err := smr.DecodeRequest(d.Val); err == nil && r.SeqNo == 1 {
+				return true
+			}
+		}
+		return false
+	}
+	if !c.RunUntil(committed, 3000) {
+		t.Fatal("silent replica stalled the chain")
+	}
+}
+
+func TestCrashedLeaderViewTimeout(t *testing.T) {
+	// Crashing one replica (which leads every 4th view) must not stop
+	// the chain: timeouts rotate past it.
+	c := NewCluster(1, nil, Config{ViewTimeout: 10}, nil)
+	c.Run(60)
+	c.Crash(2)
+	before := c.MinExecuted(2)
+	c.Run(600)
+	after := c.MinExecuted(2)
+	if after <= before+3 {
+		t.Fatalf("chain stalled after leader crash: %d → %d", before, after)
+	}
+}
+
+func TestSafetyPrefixAgreement(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		fab := simnet.NewFabric(simnet.Options{MinDelay: 1, MaxDelay: 4, DropRate: 0.05, Seed: seed})
+		c := NewCluster(1, fab, Config{ViewTimeout: 25}, kvSM)
+		for i := 1; i <= 10; i++ {
+			c.Submit(req(1, uint64(i), kvstore.Incr("n", 1)))
+			c.RunPumped(80)
+			if err := smr.CheckPrefixConsistency(c.Execs...); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+func TestExactlyOnceAcrossLeaders(t *testing.T) {
+	// The same request reaches all replicas (each may propose it);
+	// commit-time dedup must apply it exactly once.
+	c := NewCluster(1, nil, Config{ViewTimeout: 12}, kvSM)
+	c.Submit(req(1, 1, kvstore.Incr("n", 1)))
+	c.RunPumped(800)
+	store := kvstore.New()
+	count := 0
+	for _, d := range c.Execs[0].Applied() {
+		if r, err := smr.DecodeRequest(d.Val); err == nil {
+			store.Apply(r.Op)
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("request applied %d times", count)
+	}
+	if v, _ := store.Get("n"); string(v) != "1" {
+		t.Fatalf("n = %s", v)
+	}
+}
+
+func TestVoteForgeryRejected(t *testing.T) {
+	// A byzantine replica sending vote shares with garbage signatures
+	// must not contribute to QCs.
+	c := NewCluster(1, nil, Config{ViewTimeout: 15}, nil)
+	c.Intercept(3, func(m Message) []Message {
+		if m.Kind == MsgVote {
+			m.Share.Sig = []byte("forged")
+		}
+		return []Message{m}
+	})
+	c.Run(500)
+	// Progress continues (2f+1 honest votes suffice) — and no panic
+	// from invalid QCs.
+	if c.MinExecuted(3) == 0 {
+		t.Fatal("chain never advanced with forged votes in play")
+	}
+}
+
+func TestLockedQCPreventsConflictingCommit(t *testing.T) {
+	// Structural safety check under partition: two sides cannot commit
+	// conflicting blocks because quorums intersect; after healing, all
+	// replicas share one committed prefix.
+	fab := simnet.NewFabric(simnet.Options{Seed: 4})
+	c := NewCluster(1, fab, Config{ViewTimeout: 10}, kvSM)
+	c.Run(100)
+	fab.Partition([]types.NodeID{0, 1}, []types.NodeID{2, 3})
+	c.Submit(req(1, 1, kvstore.Put("k", []byte("A"))))
+	c.Run(300) // neither side has a quorum: no commits beyond pre-partition
+	fab.Heal()
+	c.RunPumped(600)
+	if err := smr.CheckPrefixConsistency(c.Execs...); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package metrics collects and renders the measurements the experiment
+// harness reports: latency histograms, message-complexity counters, and
+// the aligned text tables/series that cmd/consensus-bench prints in the
+// shape of the paper's artifacts.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram accumulates integer samples (latencies in ticks, message
+// counts per operation) and reports order statistics.
+type Histogram struct {
+	samples []int
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Add records one sample.
+func (h *Histogram) Add(v int) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() int {
+	s := 0
+	for _, v := range h.samples {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(len(h.samples))
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Ints(h.samples)
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100), or 0 with no
+// samples.
+func (h *Histogram) Percentile(p float64) int {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	idx := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() int {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() int {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// Summary renders "mean/p50/p99 (n)" for table cells.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("%.1f/%d/%d (n=%d)", h.Mean(), h.Percentile(50), h.Percentile(99), h.Count())
+}
+
+// Table renders aligned experiment tables. Columns are fixed at
+// construction; rows are appended as formatted cells.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends one row. Cells beyond the header count are dropped;
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of fmt.Sprint-rendered values.
+func (t *Table) AddRowf(cells ...any) {
+	s := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			s[i] = fmt.Sprintf("%.2f", v)
+		default:
+			s[i] = fmt.Sprint(c)
+		}
+	}
+	t.AddRow(s...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, hd := range t.headers {
+		widths[i] = len(hd)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is a labelled (x, y) sequence — the text analogue of one figure
+// line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Figure groups series under a caption and renders them as a table of
+// x versus each series' y.
+type Figure struct {
+	Caption string
+	XLabel  string
+	series  []*Series
+}
+
+// NewFigure creates a figure.
+func NewFigure(caption, xlabel string) *Figure { return &Figure{Caption: caption, XLabel: xlabel} }
+
+// Series returns (creating if needed) the named series.
+func (f *Figure) Series(name string) *Series {
+	for _, s := range f.series {
+		if s.Name == name {
+			return s
+		}
+	}
+	s := &Series{Name: name}
+	f.series = append(f.series, s)
+	return s
+}
+
+// String renders the figure as an aligned x/series table. Series may have
+// different x supports; rows are the sorted union of x values.
+func (f *Figure) String() string {
+	xset := map[float64]bool{}
+	for _, s := range f.series {
+		for _, x := range s.X {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	headers := append([]string{f.XLabel}, make([]string, len(f.series))...)
+	for i, s := range f.series {
+		headers[i+1] = s.Name
+	}
+	t := NewTable(f.Caption, headers...)
+	for _, x := range xs {
+		row := make([]string, len(headers))
+		row[0] = trimFloat(x)
+		for i, s := range f.series {
+			row[i+1] = ""
+			for j, sx := range s.X {
+				if sx == x {
+					row[i+1] = trimFloat(s.Y[j])
+					break
+				}
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}

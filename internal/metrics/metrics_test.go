@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	for _, v := range []int{5, 1, 9, 3, 7} {
+		h.Add(v)
+	}
+	if h.Count() != 5 || h.Sum() != 25 {
+		t.Fatalf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	if h.Mean() != 5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 9 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if p := h.Percentile(50); p != 5 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := h.Percentile(100); p != 9 {
+		t.Fatalf("p100 = %d", p)
+	}
+	if p := h.Percentile(1); p != 1 {
+		t.Fatalf("p1 = %d", p)
+	}
+	if !strings.Contains(h.Summary(), "n=5") {
+		t.Fatalf("summary = %q", h.Summary())
+	}
+	// Adding after sorting keeps stats correct.
+	h.Add(0)
+	if h.Min() != 0 {
+		t.Fatal("post-sort add ignored")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T1: demo", "protocol", "nodes", "phases")
+	tb.AddRow("paxos", "2f+1", "2")
+	tb.AddRowf("pbft", 4, 3.0)
+	tb.AddRow("short") // missing cells render empty
+	out := tb.String()
+	if !strings.Contains(out, "T1: demo") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// All rows align: same rendered width.
+	for i := 2; i < len(lines); i++ {
+		if len(lines[i]) != len(lines[1]) {
+			t.Fatalf("ragged row %d:\n%s", i, out)
+		}
+	}
+	if !strings.Contains(out, "3.00") {
+		t.Fatalf("float cell not formatted: %s", out)
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := NewFigure("F7: fork rate", "delay")
+	f.Series("pow").Add(1, 0.01)
+	f.Series("pow").Add(10, 0.2)
+	f.Series("baseline").Add(1, 0.5)
+	out := f.String()
+	if !strings.Contains(out, "F7: fork rate") || !strings.Contains(out, "pow") {
+		t.Fatalf("figure missing parts:\n%s", out)
+	}
+	// Row for x=10 exists with empty baseline cell.
+	if !strings.Contains(out, "10") {
+		t.Fatalf("missing x=10 row:\n%s", out)
+	}
+	// Series accessor reuses existing series.
+	if len(f.series) != 2 {
+		t.Fatalf("series count = %d", len(f.series))
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(3) != "3" {
+		t.Fatalf("trimFloat(3) = %q", trimFloat(3))
+	}
+	if trimFloat(3.14159) != "3.142" {
+		t.Fatalf("trimFloat pi = %q", trimFloat(3.14159))
+	}
+}

@@ -1,0 +1,528 @@
+// Package multipaxos implements Multi-Paxos as the paper presents it: a
+// separate Basic Paxos instance per log slot, with the optimization that
+// phase 1 runs "only when the leader changes" (the slides' view-change /
+// recovery mode) while the stable leader drives phase 2 per slot in
+// normal mode.
+//
+// The paper's three stages map directly: Leader Election (phase 1 over
+// all slots at once), Replication (phase 2, Accept/Accepted per slot),
+// and Decision (asynchronous Commit broadcast).
+//
+// Profile: partially-synchronous, crash, pessimistic, known, 2f+1 nodes,
+// 2 phases in steady state, O(N) messages per decision.
+package multipaxos
+
+import (
+	"fmt"
+	"sort"
+
+	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/quorum"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+func init() {
+	core.Register(core.Profile{
+		Name:                 "multipaxos",
+		Synchrony:            core.PartiallySynchronous,
+		Failure:              core.Crash,
+		Strategy:             core.Pessimistic,
+		Awareness:            core.KnownParticipants,
+		NodesFor:             func(f int) int { return 2*f + 1 },
+		NodesFormula:         "2f+1",
+		QuorumFor:            func(f int) int { return f + 1 },
+		CommitPhases:         1, // steady state: Accept/Accepted round trip
+		AltPhases:            2, // with leader election
+		Complexity:           core.Linear,
+		ViewChangeComplexity: core.Linear,
+		Decomposition: []core.Phase{
+			core.LeaderElection, core.ValueDiscovery, core.FTAgreement, core.Decision,
+		},
+		Notes: "phase 1 amortized over the log; heartbeat-based leader lease",
+	})
+}
+
+// MsgKind enumerates Multi-Paxos message types.
+type MsgKind uint8
+
+const (
+	MsgPrepare MsgKind = iota + 1
+	MsgAck
+	MsgNack
+	MsgAccept
+	MsgAccepted
+	MsgCommit
+	MsgHeartbeat
+	MsgForward // request forwarded to the leader
+	MsgCatchup // follower asks for committed slots it is missing
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgPrepare:
+		return "prepare"
+	case MsgAck:
+		return "ack"
+	case MsgNack:
+		return "nack"
+	case MsgAccept:
+		return "accept"
+	case MsgAccepted:
+		return "accepted"
+	case MsgCommit:
+		return "commit"
+	case MsgHeartbeat:
+		return "heartbeat"
+	case MsgForward:
+		return "forward"
+	case MsgCatchup:
+		return "catchup"
+	}
+	return fmt.Sprintf("MsgKind(%d)", uint8(k))
+}
+
+// Entry is one accepted log slot reported during recovery.
+type Entry struct {
+	Slot      types.Seq
+	AcceptNum types.Ballot
+	Val       types.Value
+}
+
+// Message is a Multi-Paxos wire message.
+type Message struct {
+	Kind     MsgKind
+	From, To types.NodeID
+	Ballot   types.Ballot
+	Slot     types.Seq
+	Val      types.Value
+	Entries  []Entry   // Ack: all accepted entries; Commit batches reuse Entries
+	Commit   types.Seq // Heartbeat: leader's commit frontier
+}
+
+// Runner accessors.
+func Src(m Message) types.NodeID  { return m.From }
+func Dest(m Message) types.NodeID { return m.To }
+func Kind(m Message) string       { return m.Kind.String() }
+
+// Config tunes a node.
+type Config struct {
+	Peers []types.NodeID
+	// HeartbeatTicks is the leader's heartbeat interval. Default 5.
+	HeartbeatTicks int
+	// ElectionTimeoutTicks is the base follower timeout before running
+	// for leadership; each node adds seeded jitter. Default 30.
+	ElectionTimeoutTicks int
+	// Seed seeds the node's private RNG.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatTicks <= 0 {
+		c.HeartbeatTicks = 5
+	}
+	if c.ElectionTimeoutTicks <= 0 {
+		c.ElectionTimeoutTicks = 30
+	}
+	return c
+}
+
+type role uint8
+
+const (
+	follower role = iota
+	candidate
+	leader
+)
+
+// slotState tracks one in-flight phase-2 instance at the leader.
+type slotState struct {
+	val   types.Value
+	votes *quorum.Tally
+}
+
+// acceptedEntry is acceptor state for one slot.
+type acceptedEntry struct {
+	num types.Ballot
+	val types.Value
+}
+
+// Node is one Multi-Paxos replica.
+type Node struct {
+	id  types.NodeID
+	cfg Config
+	rng *simnet.RNG
+	q   quorum.Majority
+
+	role   role
+	ballot types.Ballot // promised ballot (acceptor) = current view
+	lead   types.NodeID // believed leader (-1 unknown)
+
+	// Acceptor log.
+	accepted map[types.Seq]acceptedEntry
+
+	// Committed log (learner).
+	chosen    map[types.Seq]types.Value
+	commitSeq types.Seq // contiguous commit frontier
+	decisions []types.Decision
+
+	// Leader state.
+	curBallot  types.Ballot
+	prepAcks   *quorum.Tally
+	recovered  map[types.Seq]acceptedEntry // merged from acks
+	inflight   map[types.Seq]*slotState
+	nextSlot   types.Seq
+	queued     []types.Value // submissions waiting for leadership
+	elections  int           // leader elections started (metric)
+	hbCooldown int
+
+	// Follower timers.
+	electionIn int
+
+	out []Message
+}
+
+// New builds a Multi-Paxos replica.
+func New(id types.NodeID, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		id:       id,
+		cfg:      cfg,
+		rng:      simnet.NewRNG(cfg.Seed ^ (uint64(id)+1)<<24),
+		q:        quorum.Majority{N: len(cfg.Peers)},
+		lead:     -1,
+		accepted: make(map[types.Seq]acceptedEntry),
+		chosen:   make(map[types.Seq]types.Value),
+		nextSlot: 1,
+	}
+	n.resetElectionTimer()
+	return n
+}
+
+func (n *Node) resetElectionTimer() {
+	n.electionIn = n.cfg.ElectionTimeoutTicks + n.rng.Intn(n.cfg.ElectionTimeoutTicks)
+}
+
+func (n *Node) send(m Message) {
+	m.From = n.id
+	n.out = append(n.out, m)
+}
+
+func (n *Node) broadcast(m Message) {
+	for _, p := range n.cfg.Peers {
+		if p == n.id {
+			continue
+		}
+		mm := m
+		mm.To = p
+		n.send(mm)
+	}
+}
+
+// IsLeader reports whether this node currently believes it leads.
+func (n *Node) IsLeader() bool { return n.role == leader }
+
+// Leader returns the node this replica believes is leader, or -1.
+func (n *Node) Leader() types.NodeID { return n.lead }
+
+// Elections returns how many elections this node has started.
+func (n *Node) Elections() int { return n.elections }
+
+// CommitFrontier returns the highest contiguously committed slot.
+func (n *Node) CommitFrontier() types.Seq { return n.commitSeq }
+
+// TakeDecisions drains newly committed (slot, value) pairs in commit
+// order.
+func (n *Node) TakeDecisions() []types.Decision {
+	d := n.decisions
+	n.decisions = nil
+	return d
+}
+
+// Submit hands the node a value to replicate. Leaders propose it
+// immediately; followers forward to the leader they know, or queue it
+// until one emerges.
+func (n *Node) Submit(v types.Value) {
+	switch {
+	case n.role == leader:
+		n.propose(v)
+	case n.lead >= 0 && n.lead != n.id:
+		n.send(Message{Kind: MsgForward, To: n.lead, Val: v.Clone()})
+	default:
+		n.queued = append(n.queued, v.Clone())
+	}
+}
+
+// propose assigns the next free slot and runs phase 2 for it.
+func (n *Node) propose(v types.Value) {
+	slot := n.nextSlot
+	n.nextSlot++
+	st := &slotState{val: v.Clone(), votes: quorum.NewTally(n.q.Threshold())}
+	n.inflight[slot] = st
+	// Self-accept locally (the leader is also an acceptor).
+	n.accepted[slot] = acceptedEntry{num: n.curBallot, val: v.Clone()}
+	st.votes.Add(n.id)
+	n.broadcast(Message{Kind: MsgAccept, Ballot: n.curBallot, Slot: slot, Val: v.Clone()})
+}
+
+// campaign starts phase 1 for the whole log — the view change.
+func (n *Node) campaign() {
+	n.elections++
+	n.role = candidate
+	n.ballot = n.ballot.Next(n.id)
+	n.curBallot = n.ballot
+	n.prepAcks = quorum.NewTally(n.q.Threshold())
+	n.recovered = make(map[types.Seq]acceptedEntry)
+	// Merge own acceptor log.
+	for s, e := range n.accepted {
+		n.recovered[s] = e
+	}
+	n.prepAcks.Add(n.id)
+	n.resetElectionTimer()
+	n.broadcast(Message{Kind: MsgPrepare, Ballot: n.curBallot})
+}
+
+// Step consumes one delivered message.
+func (n *Node) Step(m Message) {
+	switch m.Kind {
+	case MsgPrepare:
+		n.onPrepare(m)
+	case MsgAck:
+		n.onAck(m)
+	case MsgNack:
+		n.onNack(m)
+	case MsgAccept:
+		n.onAccept(m)
+	case MsgAccepted:
+		n.onAccepted(m)
+	case MsgCommit:
+		for _, e := range m.Entries {
+			n.learn(e.Slot, e.Val)
+		}
+		if m.Val != nil {
+			n.learn(m.Slot, m.Val)
+		}
+	case MsgHeartbeat:
+		n.onHeartbeat(m)
+	case MsgForward:
+		if n.role == leader {
+			n.propose(m.Val)
+		} else if n.lead >= 0 && n.lead != n.id {
+			n.send(Message{Kind: MsgForward, To: n.lead, Val: m.Val})
+		} else {
+			n.queued = append(n.queued, m.Val.Clone())
+		}
+	case MsgCatchup:
+		n.onCatchup(m)
+	}
+}
+
+func (n *Node) onPrepare(m Message) {
+	if n.ballot.LessEq(m.Ballot) {
+		n.ballot = m.Ballot
+		n.becomeFollowerOf(m.From)
+		// Report the FULL accepted log, not just the uncommitted tail: a
+		// new leader may lag behind the commit frontier, and without the
+		// committed slots in some ack it would no-op-fill chosen slots.
+		entries := make([]Entry, 0, len(n.accepted))
+		for s, e := range n.accepted {
+			entries = append(entries, Entry{Slot: s, AcceptNum: e.num, Val: e.val.Clone()})
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Slot < entries[j].Slot })
+		n.send(Message{Kind: MsgAck, To: m.From, Ballot: m.Ballot, Entries: entries, Commit: n.commitSeq})
+		return
+	}
+	n.send(Message{Kind: MsgNack, To: m.From, Ballot: n.ballot})
+}
+
+func (n *Node) becomeFollowerOf(lead types.NodeID) {
+	n.role = follower
+	n.lead = lead
+	n.inflight = nil
+	n.resetElectionTimer()
+	// Submissions queued while leaderless now have somewhere to go.
+	if lead != n.id && lead >= 0 {
+		queued := n.queued
+		n.queued = nil
+		for _, v := range queued {
+			n.send(Message{Kind: MsgForward, To: lead, Val: v})
+		}
+	}
+}
+
+func (n *Node) onAck(m Message) {
+	if n.role != candidate || m.Ballot != n.curBallot {
+		return
+	}
+	for _, e := range m.Entries {
+		if cur, ok := n.recovered[e.Slot]; !ok || cur.num.Less(e.AcceptNum) {
+			n.recovered[e.Slot] = acceptedEntry{num: e.AcceptNum, val: e.Val.Clone()}
+		}
+	}
+	if !n.prepAcks.Add(m.From) {
+		return
+	}
+	n.becomeLeader()
+}
+
+// becomeLeader finishes the view change: re-propose every recovered
+// uncommitted entry under the new ballot, then serve queued submissions.
+func (n *Node) becomeLeader() {
+	n.role = leader
+	n.lead = n.id
+	n.inflight = make(map[types.Seq]*slotState)
+	// The new log frontier starts after both the commit frontier and the
+	// highest recovered slot.
+	n.nextSlot = n.commitSeq + 1
+	slots := make([]types.Seq, 0, len(n.recovered))
+	for s := range n.recovered {
+		if s > n.commitSeq {
+			slots = append(slots, s)
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, s := range slots {
+		if s >= n.nextSlot {
+			n.nextSlot = s + 1
+		}
+	}
+	// Gaps between commitSeq and nextSlot that no ack reported get no-op
+	// values so the log stays dense (classic Multi-Paxos hole filling).
+	for s := n.commitSeq + 1; s < n.nextSlot; s++ {
+		if _, ok := n.recovered[s]; !ok {
+			n.recovered[s] = acceptedEntry{val: types.Value(nil)}
+		}
+	}
+	for s := n.commitSeq + 1; s < n.nextSlot; s++ {
+		e := n.recovered[s]
+		st := &slotState{val: e.val.Clone(), votes: quorum.NewTally(n.q.Threshold())}
+		n.inflight[s] = st
+		n.accepted[s] = acceptedEntry{num: n.curBallot, val: e.val.Clone()}
+		st.votes.Add(n.id)
+		n.broadcast(Message{Kind: MsgAccept, Ballot: n.curBallot, Slot: s, Val: e.val.Clone()})
+	}
+	queued := n.queued
+	n.queued = nil
+	for _, v := range queued {
+		n.propose(v)
+	}
+	n.hbCooldown = 0 // heartbeat immediately to assert leadership
+}
+
+func (n *Node) onNack(m Message) {
+	if n.ballot.Less(m.Ballot) {
+		n.ballot = m.Ballot
+		if n.role != follower {
+			n.role = follower
+			n.lead = -1
+			n.resetElectionTimer()
+		}
+	}
+}
+
+func (n *Node) onAccept(m Message) {
+	if n.ballot.LessEq(m.Ballot) {
+		if n.ballot.Less(m.Ballot) || n.lead != m.From {
+			n.ballot = m.Ballot
+			n.becomeFollowerOf(m.From)
+		}
+		n.resetElectionTimer()
+		n.accepted[m.Slot] = acceptedEntry{num: m.Ballot, val: m.Val.Clone()}
+		n.send(Message{Kind: MsgAccepted, To: m.From, Ballot: m.Ballot, Slot: m.Slot})
+		return
+	}
+	n.send(Message{Kind: MsgNack, To: m.From, Ballot: n.ballot})
+}
+
+func (n *Node) onAccepted(m Message) {
+	if n.role != leader || m.Ballot != n.curBallot {
+		return
+	}
+	st, ok := n.inflight[m.Slot]
+	if !ok {
+		return
+	}
+	if !st.votes.Add(m.From) {
+		return
+	}
+	delete(n.inflight, m.Slot)
+	n.learn(m.Slot, st.val)
+	n.broadcast(Message{Kind: MsgCommit, Slot: m.Slot, Val: st.val.Clone()})
+}
+
+// learn records a chosen slot and advances the contiguous commit
+// frontier, emitting decisions in order.
+func (n *Node) learn(slot types.Seq, val types.Value) {
+	if prev, ok := n.chosen[slot]; ok {
+		if !prev.Equal(val) {
+			panic(fmt.Sprintf("multipaxos: node %v slot %d chosen twice: %q vs %q", n.id, slot, prev, val))
+		}
+		return
+	}
+	n.chosen[slot] = val.Clone()
+	for {
+		v, ok := n.chosen[n.commitSeq+1]
+		if !ok {
+			return
+		}
+		n.commitSeq++
+		n.decisions = append(n.decisions, types.Decision{Slot: n.commitSeq, Val: v})
+	}
+}
+
+func (n *Node) onHeartbeat(m Message) {
+	if m.Ballot.Less(n.ballot) {
+		n.send(Message{Kind: MsgNack, To: m.From, Ballot: n.ballot})
+		return
+	}
+	if n.ballot.Less(m.Ballot) || n.lead != m.From || n.role != follower {
+		n.ballot = m.Ballot
+		n.becomeFollowerOf(m.From)
+	}
+	n.resetElectionTimer()
+	if m.Commit > n.commitSeq {
+		n.send(Message{Kind: MsgCatchup, To: m.From, Slot: n.commitSeq + 1})
+	}
+}
+
+// onCatchup streams committed slots from the requested frontier to a
+// lagging follower, batched into one message.
+func (n *Node) onCatchup(m Message) {
+	if n.role != leader {
+		return
+	}
+	var entries []Entry
+	for s := m.Slot; s <= n.commitSeq && len(entries) < 64; s++ {
+		if v, ok := n.chosen[s]; ok {
+			entries = append(entries, Entry{Slot: s, Val: v.Clone()})
+		}
+	}
+	if len(entries) > 0 {
+		n.send(Message{Kind: MsgCommit, To: m.From, Entries: entries})
+	}
+}
+
+// Tick advances timers: leaders heartbeat, followers run election
+// timeouts, candidates retry.
+func (n *Node) Tick() {
+	switch n.role {
+	case leader:
+		n.hbCooldown--
+		if n.hbCooldown <= 0 {
+			n.hbCooldown = n.cfg.HeartbeatTicks
+			n.broadcast(Message{Kind: MsgHeartbeat, Ballot: n.curBallot, Commit: n.commitSeq})
+		}
+	case follower, candidate:
+		n.electionIn--
+		if n.electionIn <= 0 {
+			n.campaign()
+		}
+	}
+}
+
+// Drain returns pending outbound messages.
+func (n *Node) Drain() []Message {
+	out := n.out
+	n.out = nil
+	return out
+}

@@ -1,0 +1,32 @@
+package paxos
+
+import (
+	"testing"
+
+	"fortyconsensus/internal/types"
+)
+
+// BenchmarkDecide measures one full single-decree consensus instance
+// (prepare + accept + decide broadcast) on 5 nodes.
+func BenchmarkDecide(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := NewCluster(5, nil, Config{})
+		c.Nodes[0].Propose(types.Value("v"))
+		if !c.RunUntil(c.AllDecided, 500) {
+			b.Fatal("no decision")
+		}
+	}
+}
+
+// BenchmarkDuelingProposers measures contention resolution with
+// randomized backoff — the F1 scenario as a microbenchmark.
+func BenchmarkDuelingProposers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := NewCluster(5, nil, Config{RetryTicks: 6, RandomBackoff: true, Seed: uint64(i)})
+		c.Nodes[0].Propose(types.Value("L"))
+		c.Nodes[4].Propose(types.Value("R"))
+		if !c.RunUntil(c.AllDecided, 5000) {
+			b.Fatal("livelock")
+		}
+	}
+}

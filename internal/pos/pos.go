@@ -1,0 +1,403 @@
+// Package pos implements Proof-of-Stake consensus as the paper presents
+// it: "a stakeholder who has p fraction of the coins in circulation
+// creates a new block with p probability", plus the two anti-plutocracy
+// refinements the slides list —
+//
+//	randomized block selection: a seeded pseudo-random beacon combined
+//	with stake size picks each slot's proposer;
+//
+//	coin-age-based selection: weight = stake × age (slots since the
+//	stake last won), with age capped (the slides' "maximum after 90
+//	days") and reset to zero on winning, so dormant smaller holders
+//	catch up.
+//
+// Experiment F8 measures block share versus stake share under both
+// rules — the "don't the rich get richer?" slide, answered with data.
+//
+// The protocol is slot-synchronous: every slot, each validator evaluates
+// the public selection function; the winner signs and broadcasts a
+// block; everyone can verify the winner was legitimate because the
+// selection depends only on the shared stake table, the beacon seed,
+// and the slot number.
+package pos
+
+import (
+	"fmt"
+	"sort"
+
+	"fortyconsensus/internal/chaincrypto"
+	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/types"
+)
+
+func init() {
+	core.Register(core.Profile{
+		Name:         "pos",
+		Synchrony:    core.PartiallySynchronous,
+		Failure:      core.Byzantine,
+		Strategy:     core.Optimistic,
+		Awareness:    core.UnknownParticipants,
+		NodesFor:     func(f int) int { return 2*f + 1 }, // honest-majority of stake
+		NodesFormula: "majority of stake",
+		QuorumFor:    func(f int) int { return f + 1 },
+		CommitPhases: 1,
+		Complexity:   core.Linear,
+		Decomposition: []core.Phase{
+			core.LeaderElection, core.Decision,
+		},
+		Notes: "stake-weighted randomized or coin-age proposer selection",
+	})
+}
+
+// Selection picks how proposers are chosen.
+type Selection uint8
+
+const (
+	// Randomized weights proposers purely by stake.
+	Randomized Selection = iota
+	// CoinAge weights by stake × capped age, resetting age on a win.
+	CoinAge
+)
+
+func (s Selection) String() string {
+	if s == CoinAge {
+		return "coin-age"
+	}
+	return "randomized"
+}
+
+// Params configures a PoS network.
+type Params struct {
+	Selection Selection
+	// Seed seeds the public beacon.
+	Seed uint64
+	// MaxAge caps coin-age weighting (the "90 days" rule). Default 90.
+	MaxAge uint64
+	// MinAge is the dormancy before stake competes ("unspent for at
+	// least 30 days"). Default 0 for randomized, 3 for coin-age.
+	MinAge uint64
+	// Reward is the per-block stake reward; zero is a valid choice and
+	// isolates the selection rule from compounding.
+	Reward uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxAge == 0 {
+		p.MaxAge = 90
+	}
+	if p.MinAge == 0 && p.Selection == CoinAge {
+		p.MinAge = 3
+	}
+	return p
+}
+
+// Validator is one stakeholder in the shared stake table.
+type Validator struct {
+	ID    types.NodeID
+	Stake uint64
+	// age counts slots since this validator last proposed.
+	age uint64
+}
+
+// Block is one PoS block.
+type Block struct {
+	Slot     uint64
+	Proposer types.NodeID
+	Parent   chaincrypto.Digest
+	Payload  []types.Value
+}
+
+// Hash returns the block digest.
+func (b Block) Hash() chaincrypto.Digest {
+	parts := [][]byte{
+		chaincrypto.HashUint64(b.Slot),
+		chaincrypto.HashUint64(uint64(b.Proposer)),
+		b.Parent[:],
+	}
+	for _, v := range b.Payload {
+		parts = append(parts, v)
+	}
+	return chaincrypto.Hash(parts...)
+}
+
+// Ledger is the deterministic slot-by-slot PoS state machine: the stake
+// table, the beacon, and the chain. Every validator computes the same
+// ledger, so the networked layer only needs block dissemination — the
+// selection itself requires no votes.
+type Ledger struct {
+	params Params
+	vals   []*Validator
+	byID   map[types.NodeID]*Validator
+	chain  []Block
+	tipID  chaincrypto.Digest
+	wins   map[types.NodeID]int
+}
+
+// NewLedger builds a ledger over the given initial stakes.
+func NewLedger(params Params, stakes map[types.NodeID]uint64) *Ledger {
+	params = params.withDefaults()
+	l := &Ledger{
+		params: params,
+		byID:   make(map[types.NodeID]*Validator, len(stakes)),
+		wins:   make(map[types.NodeID]int),
+	}
+	ids := make([]types.NodeID, 0, len(stakes))
+	for id := range stakes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		v := &Validator{ID: id, Stake: stakes[id], age: params.MinAge}
+		l.vals = append(l.vals, v)
+		l.byID[id] = v
+	}
+	return l
+}
+
+// weight returns a validator's current selection weight.
+func (l *Ledger) weight(v *Validator) uint64 {
+	switch l.params.Selection {
+	case CoinAge:
+		age := v.age
+		if age < l.params.MinAge {
+			return 0
+		}
+		if age > l.params.MaxAge {
+			age = l.params.MaxAge
+		}
+		return v.Stake * age
+	default:
+		return v.Stake
+	}
+}
+
+// beacon derives slot randomness from the seed and slot number.
+func (l *Ledger) beacon(slot uint64) uint64 {
+	d := chaincrypto.Hash(chaincrypto.HashUint64(l.params.Seed), chaincrypto.HashUint64(slot))
+	var out uint64
+	for i := 0; i < 8; i++ {
+		out = out<<8 | uint64(d[i])
+	}
+	return out
+}
+
+// ProposerFor returns the slot's legitimate proposer: sample the beacon
+// against cumulative weights. With zero total weight (all dormant), the
+// slot is empty and no block may be produced.
+func (l *Ledger) ProposerFor(slot uint64) (types.NodeID, bool) {
+	total := uint64(0)
+	for _, v := range l.vals {
+		total += l.weight(v)
+	}
+	if total == 0 {
+		return 0, false
+	}
+	pick := l.beacon(slot) % total
+	acc := uint64(0)
+	for _, v := range l.vals {
+		acc += l.weight(v)
+		if pick < acc {
+			return v.ID, true
+		}
+	}
+	return l.vals[len(l.vals)-1].ID, true
+}
+
+// Advance plays one slot: selects the proposer, appends its block, pays
+// the reward, and updates ages. payload may be nil.
+func (l *Ledger) Advance(payload []types.Value) (Block, bool) {
+	slot := uint64(len(l.chain)) + 1
+	id, ok := l.ProposerFor(slot)
+	// Ages advance for everyone each slot.
+	for _, v := range l.vals {
+		v.age++
+	}
+	if !ok {
+		return Block{}, false
+	}
+	b := Block{Slot: slot, Proposer: id, Parent: l.tipID, Payload: payload}
+	l.apply(b)
+	return b, true
+}
+
+// VerifyAndApply checks that a received block names the legitimate
+// proposer for its slot and extends the tip, then applies it. Used by
+// networked validators replaying a peer's block.
+func (l *Ledger) VerifyAndApply(b Block) error {
+	want := uint64(len(l.chain)) + 1
+	if b.Slot != want {
+		return fmt.Errorf("pos: block for slot %d, want %d", b.Slot, want)
+	}
+	if b.Parent != l.tipID {
+		return fmt.Errorf("pos: block does not extend the tip")
+	}
+	id, ok := l.ProposerFor(b.Slot)
+	if !ok || id != b.Proposer {
+		return fmt.Errorf("pos: illegitimate proposer %v for slot %d (want %v)", b.Proposer, b.Slot, id)
+	}
+	for _, v := range l.vals {
+		v.age++
+	}
+	l.apply(b)
+	return nil
+}
+
+func (l *Ledger) apply(b Block) {
+	l.chain = append(l.chain, b)
+	l.tipID = b.Hash()
+	v := l.byID[b.Proposer]
+	v.Stake += l.params.Reward
+	v.age = 0
+	l.wins[b.Proposer]++
+}
+
+// Height returns the chain length.
+func (l *Ledger) Height() int { return len(l.chain) }
+
+// Wins returns per-validator block counts.
+func (l *Ledger) Wins() map[types.NodeID]int {
+	out := make(map[types.NodeID]int, len(l.wins))
+	for k, v := range l.wins {
+		out[k] = v
+	}
+	return out
+}
+
+// Stake returns a validator's current stake.
+func (l *Ledger) Stake(id types.NodeID) uint64 { return l.byID[id].Stake }
+
+// TotalStake returns the sum of all stakes.
+func (l *Ledger) TotalStake() uint64 {
+	t := uint64(0)
+	for _, v := range l.vals {
+		t += v.Stake
+	}
+	return t
+}
+
+// Tip returns the tip hash.
+func (l *Ledger) Tip() chaincrypto.Digest { return l.tipID }
+
+// ---------------------------------------------------------------------------
+// Networked validator (gossip layer over the deterministic ledger)
+
+// MsgKind enumerates PoS gossip messages.
+type MsgKind uint8
+
+const (
+	MsgBlock MsgKind = iota + 1
+)
+
+func (k MsgKind) String() string { return "block" }
+
+// Message is a PoS wire message.
+type Message struct {
+	Kind     MsgKind
+	From, To types.NodeID
+	Block    Block
+}
+
+// Runner accessors.
+func Src(m Message) types.NodeID  { return m.From }
+func Dest(m Message) types.NodeID { return m.To }
+func Kind(m Message) string       { return m.Kind.String() }
+
+// Node is one networked validator: each slot lasts SlotTicks; the slot's
+// proposer builds a block and gossips it; everyone else verifies.
+type Node struct {
+	id        types.NodeID
+	ledger    *Ledger
+	peers     []types.NodeID
+	slotTicks int
+	tickIn    int
+	pending   []types.Value
+	held      map[uint64]Block // blocks for future slots
+	out       []Message
+}
+
+// NewNode builds a networked validator sharing the given parameters and
+// stake table with its peers.
+func NewNode(id types.NodeID, params Params, stakes map[types.NodeID]uint64, peers []types.NodeID, slotTicks int) *Node {
+	if slotTicks <= 0 {
+		slotTicks = 5
+	}
+	return &Node{
+		id:        id,
+		ledger:    NewLedger(params, stakes),
+		peers:     peers,
+		slotTicks: slotTicks,
+		tickIn:    slotTicks,
+		held:      make(map[uint64]Block),
+	}
+}
+
+// Ledger exposes the node's ledger for assertions.
+func (n *Node) Ledger() *Ledger { return n.ledger }
+
+// Submit queues a payload for the node's next proposed block.
+func (n *Node) Submit(v types.Value) { n.pending = append(n.pending, v.Clone()) }
+
+// Step consumes a gossiped block.
+func (n *Node) Step(m Message) {
+	if m.Kind != MsgBlock {
+		return
+	}
+	n.tryApply(m.Block)
+}
+
+func (n *Node) tryApply(b Block) {
+	want := uint64(n.ledger.Height()) + 1
+	if b.Slot < want {
+		return // already have it
+	}
+	if b.Slot > want {
+		n.held[b.Slot] = b
+		return
+	}
+	if err := n.ledger.VerifyAndApply(b); err != nil {
+		return
+	}
+	for {
+		next, ok := n.held[uint64(n.ledger.Height())+1]
+		if !ok {
+			return
+		}
+		delete(n.held, next.Slot)
+		if n.ledger.VerifyAndApply(next) != nil {
+			return
+		}
+	}
+}
+
+// Tick advances slot time; at each slot boundary the legitimate proposer
+// (and only it) produces the block.
+func (n *Node) Tick() {
+	n.tickIn--
+	if n.tickIn > 0 {
+		return
+	}
+	n.tickIn = n.slotTicks
+	slot := uint64(n.ledger.Height()) + 1
+	id, ok := n.ledger.ProposerFor(slot)
+	if !ok || id != n.id {
+		return
+	}
+	payload := n.pending
+	n.pending = nil
+	b, produced := n.ledger.Advance(payload)
+	if !produced {
+		return
+	}
+	for _, p := range n.peers {
+		if p != n.id {
+			n.out = append(n.out, Message{Kind: MsgBlock, From: n.id, To: p, Block: b})
+		}
+	}
+}
+
+// Drain returns pending outbound messages.
+func (n *Node) Drain() []Message {
+	out := n.out
+	n.out = nil
+	return out
+}

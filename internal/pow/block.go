@@ -1,0 +1,234 @@
+// Package pow implements Nakamoto-style Proof-of-Work consensus as the
+// paper presents it: participants are *unknown*, agreement replaces
+// communication with computation, and the protocol is the mining loop
+// itself — find a nonce such that SHA256d(header) is below a difficulty
+// target, append the block, broadcast, and resolve forks by following
+// the chain with the most accumulated work.
+//
+// Everything is real at reduced scale: block headers follow Bitcoin's
+// layout (version, previous hash, merkle root, timestamp, compact target
+// bits, nonce), hashing is double SHA-256, the merkle root is computed
+// over the transactions, and difficulty retargets every
+// RetargetInterval blocks by the ratio of actual to expected block time
+// (clamped 4×), exactly like the "Difficulty is adjusted every 2016
+// blocks" slide at simulation-friendly constants. What is substituted:
+// miners' hash power is a per-tick attempt budget instead of ASIC
+// farms, which preserves the quantities the experiments measure (fork
+// rate versus propagation delay, retarget convergence, reward shares).
+package pow
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"fortyconsensus/internal/chaincrypto"
+	"fortyconsensus/internal/core"
+)
+
+func init() {
+	core.Register(core.Profile{
+		Name:         "pow",
+		Synchrony:    core.Asynchronous,
+		Failure:      core.Byzantine,
+		Strategy:     core.Optimistic,
+		Awareness:    core.UnknownParticipants,
+		NodesFor:     func(f int) int { return 2*f + 1 }, // honest-majority of hash power
+		NodesFormula: "majority of hash power",
+		QuorumFor:    func(f int) int { return f + 1 },
+		CommitPhases: 1,
+		Complexity:   core.Linear,
+		Decomposition: []core.Phase{
+			core.ValueDiscovery, core.Decision,
+		},
+		Notes: "computation replaces communication; probabilistic finality; forks resolve to most work",
+	})
+}
+
+// Tx is one transaction payload (opaque bytes; the first transaction of
+// a block is the coinbase).
+type Tx []byte
+
+// Header is a Bitcoin-shaped block header.
+type Header struct {
+	Version    uint32
+	PrevHash   chaincrypto.Digest
+	MerkleRoot chaincrypto.Digest
+	Timestamp  uint64 // simulation ticks
+	Bits       uint32 // compact difficulty target
+	Nonce      uint32
+}
+
+// Encode serializes the header for hashing (80 bytes, like Bitcoin).
+func (h Header) Encode() []byte {
+	buf := make([]byte, 0, 80)
+	buf = binary.LittleEndian.AppendUint32(buf, h.Version)
+	buf = append(buf, h.PrevHash[:]...)
+	buf = append(buf, h.MerkleRoot[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Timestamp)
+	buf = binary.LittleEndian.AppendUint32(buf, h.Bits)
+	buf = binary.LittleEndian.AppendUint32(buf, h.Nonce)
+	return buf
+}
+
+// Hash returns the header's SHA256d digest.
+func (h Header) Hash() chaincrypto.Digest {
+	return chaincrypto.DoubleHash(h.Encode())
+}
+
+// Block is a header plus its transactions.
+type Block struct {
+	Header Header
+	Txs    []Tx
+}
+
+// Hash returns the block's identifier.
+func (b *Block) Hash() chaincrypto.Digest { return b.Header.Hash() }
+
+// MerkleRoot computes the root over the block's transactions.
+func (b *Block) MerkleRoot() chaincrypto.Digest {
+	leaves := make([][]byte, len(b.Txs))
+	for i, tx := range b.Txs {
+		leaves[i] = tx
+	}
+	return chaincrypto.MerkleRoot(leaves)
+}
+
+// ---------------------------------------------------------------------------
+// Compact difficulty targets ("bits"), Bitcoin's floating-point format.
+
+// CompactToTarget expands compact bits to the 256-bit target.
+func CompactToTarget(bits uint32) *big.Int {
+	exponent := uint(bits >> 24)
+	mantissa := int64(bits & 0x007FFFFF)
+	t := big.NewInt(mantissa)
+	if exponent <= 3 {
+		return t.Rsh(t, 8*(3-exponent))
+	}
+	return t.Lsh(t, 8*(exponent-3))
+}
+
+// TargetToCompact compresses a target to compact bits.
+func TargetToCompact(target *big.Int) uint32 {
+	bytesLen := uint((target.BitLen() + 7) / 8)
+	var mantissa uint64
+	if bytesLen <= 3 {
+		mantissa = target.Uint64() << (8 * (3 - bytesLen))
+	} else {
+		t := new(big.Int).Rsh(target, 8*(bytesLen-3))
+		mantissa = t.Uint64()
+	}
+	// Avoid the sign bit, as Bitcoin does.
+	if mantissa&0x00800000 != 0 {
+		mantissa >>= 8
+		bytesLen++
+	}
+	return uint32(bytesLen)<<24 | uint32(mantissa)
+}
+
+// HashMeetsTarget reports whether digest interpreted as a big-endian
+// integer is at or below the target.
+func HashMeetsTarget(d chaincrypto.Digest, target *big.Int) bool {
+	v := new(big.Int).SetBytes(d[:])
+	return v.Cmp(target) <= 0
+}
+
+// Work returns the expected number of hash attempts a block at the given
+// bits represents: ⌊2²⁵⁶ / (target+1)⌋, Bitcoin's chainwork formula.
+func Work(bits uint32) *big.Int {
+	target := CompactToTarget(bits)
+	num := new(big.Int).Lsh(big.NewInt(1), 256)
+	den := new(big.Int).Add(target, big.NewInt(1))
+	return num.Div(num, den)
+}
+
+// ---------------------------------------------------------------------------
+// Chain parameters
+
+// Params configures a simulated PoW network.
+type Params struct {
+	// InitialBits is the genesis difficulty (easy for simulation).
+	InitialBits uint32
+	// TargetSpacing is the desired ticks between blocks.
+	TargetSpacing int
+	// RetargetInterval is the number of blocks between difficulty
+	// adjustments (Bitcoin: 2016).
+	RetargetInterval int
+	// MaxTxPerBlock bounds block size.
+	MaxTxPerBlock int
+	// InitialReward is the coinbase reward; it halves every
+	// HalvingInterval blocks.
+	InitialReward   uint64
+	HalvingInterval int
+	// CoinbaseMaturity is how many confirmations before a reward counts
+	// as spendable (informational in the simulation).
+	CoinbaseMaturity int
+}
+
+// DefaultParams returns laptop-scale constants: blocks every ~20 ticks,
+// retarget every 16 blocks, reward 50 halving every 64 blocks.
+func DefaultParams() Params {
+	return Params{
+		InitialBits:      0x1f00ffff, // very easy
+		TargetSpacing:    20,
+		RetargetInterval: 16,
+		MaxTxPerBlock:    32,
+		InitialReward:    50,
+		HalvingInterval:  64,
+		CoinbaseMaturity: 6,
+	}
+}
+
+// Reward returns the coinbase subsidy at the given height.
+func (p Params) Reward(height uint64) uint64 {
+	if p.HalvingInterval <= 0 {
+		return p.InitialReward
+	}
+	halvings := height / uint64(p.HalvingInterval)
+	if halvings >= 64 {
+		return 0
+	}
+	return p.InitialReward >> halvings
+}
+
+// GenesisBlock builds the deterministic genesis for the parameters.
+func (p Params) GenesisBlock() *Block {
+	b := &Block{
+		Header: Header{Version: 2, Bits: p.InitialBits, Timestamp: 0},
+		Txs:    []Tx{Tx("genesis-coinbase")},
+	}
+	b.Header.MerkleRoot = b.MerkleRoot()
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
+// ErrInvalidBlock reports a consensus-rule violation.
+var ErrInvalidBlock = errors.New("pow: invalid block")
+
+// ValidateBlock checks a block's intrinsic rules: proof of work meets its
+// claimed target, the merkle root matches the transactions, and a
+// coinbase is present.
+func ValidateBlock(b *Block) error {
+	if len(b.Txs) == 0 {
+		return fmt.Errorf("%w: no coinbase", ErrInvalidBlock)
+	}
+	if got := b.MerkleRoot(); got != b.Header.MerkleRoot {
+		return fmt.Errorf("%w: merkle root mismatch", ErrInvalidBlock)
+	}
+	if !HashMeetsTarget(b.Hash(), CompactToTarget(b.Header.Bits)) {
+		return fmt.Errorf("%w: insufficient proof of work", ErrInvalidBlock)
+	}
+	return nil
+}
+
+// CoinbaseFor builds a miner's coinbase transaction; its uniqueness per
+// (miner, height) keeps block hashes distinct across miners.
+func CoinbaseFor(miner int, height uint64, reward uint64) Tx {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "coinbase|miner=%d|height=%d|reward=%d", miner, height, reward)
+	return Tx(buf.Bytes())
+}

@@ -1,0 +1,111 @@
+package raft
+
+import (
+	"fortyconsensus/internal/runner"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/smr"
+	"fortyconsensus/internal/types"
+)
+
+// Cluster bundles Raft replicas with per-replica SMR executors.
+type Cluster struct {
+	*runner.Cluster[Message]
+	Nodes []*Node
+	Execs []*smr.Executor
+}
+
+// NewCluster builds n replicas (IDs 0..n-1); newSM may be nil.
+func NewCluster(n int, fabric *simnet.Fabric, cfg Config, newSM func() smr.StateMachine) *Cluster {
+	peers := make([]types.NodeID, n)
+	for i := range peers {
+		peers[i] = types.NodeID(i)
+	}
+	cfg.Peers = peers
+	rc := runner.New(runner.Config[Message]{Fabric: fabric, Dest: Dest, Src: Src, Kind: Kind})
+	c := &Cluster{Cluster: rc}
+	for i := 0; i < n; i++ {
+		node := New(types.NodeID(i), cfg)
+		c.Nodes = append(c.Nodes, node)
+		rc.Add(types.NodeID(i), node)
+		if newSM != nil {
+			c.Execs = append(c.Execs, smr.NewExecutor(types.NodeID(i), newSM()))
+		}
+	}
+	return c
+}
+
+// Pump drains decisions into executors, returning replies.
+func (c *Cluster) Pump() []types.Reply {
+	var replies []types.Reply
+	for i, n := range c.Nodes {
+		for _, d := range n.TakeDecisions() {
+			if c.Execs != nil {
+				replies = append(replies, c.Execs[i].Commit(d)...)
+			}
+		}
+	}
+	return replies
+}
+
+// RunPumped runs ticks steps, pumping each step.
+func (c *Cluster) RunPumped(ticks int) []types.Reply {
+	var replies []types.Reply
+	for i := 0; i < ticks; i++ {
+		c.Step()
+		replies = append(replies, c.Pump()...)
+	}
+	return replies
+}
+
+// WaitLeader runs until a live leader exists, returning it (nil on
+// timeout).
+func (c *Cluster) WaitLeader(maxTicks int) *Node {
+	var lead *Node
+	c.RunUntil(func() bool {
+		for _, n := range c.Nodes {
+			if n.IsLeader() && !c.Crashed(n.id) {
+				lead = n
+				return true
+			}
+		}
+		return false
+	}, maxTicks)
+	return lead
+}
+
+// CheckLogMatching verifies the Log Matching property across all nodes:
+// if two logs hold an entry with the same index and term, the logs are
+// identical up through that index.
+func (c *Cluster) CheckLogMatching() error {
+	for i := 0; i < len(c.Nodes); i++ {
+		for j := i + 1; j < len(c.Nodes); j++ {
+			a, b := c.Nodes[i].Log(), c.Nodes[j].Log()
+			n := len(a)
+			if len(b) < n {
+				n = len(b)
+			}
+			for k := n - 1; k >= 1; k-- {
+				if a[k].Term == b[k].Term {
+					// Everything at and below k must match.
+					for l := 1; l <= k; l++ {
+						if a[l].Term != b[l].Term || !a[l].Val.Equal(b[l].Val) {
+							return &logMatchError{c.Nodes[i].id, c.Nodes[j].id, k, l}
+						}
+					}
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type logMatchError struct {
+	a, b      types.NodeID
+	agreeIdx  int
+	divergeAt int
+}
+
+func (e *logMatchError) Error() string {
+	return "raft: log matching violated between " + e.a.String() + " and " + e.b.String()
+}

@@ -1,0 +1,151 @@
+package raft
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fortyconsensus/internal/types"
+	"fortyconsensus/internal/wal"
+)
+
+// Persister journals a Raft node's hard state — current term, vote, and
+// log — through a write-ahead log, and rebuilds a node from it after a
+// crash. Raft's safety argument assumes exactly this state survives
+// restarts; the in-memory simulation models crash-stop, and Persister
+// closes the loop to crash-recovery.
+//
+// The protocol node stays a pure state machine: the persister *observes*
+// it after each Step/Tick batch (Sync), diffing against a shadow copy of
+// the hard state and appending only what changed. Replay applies records
+// in order: term/vote updates, log truncations, entry appends.
+type Persister struct {
+	log *wal.Log
+
+	// Shadow of what is known durable.
+	term     Term
+	votedFor types.NodeID
+	length   types.Seq // entries persisted (log indices 1..length)
+	terms    []Term    // per-index terms of persisted entries
+}
+
+// WAL record types.
+const (
+	recHardState uint8 = iota + 1 // term + votedFor
+	recAppend                     // index + term + value
+	recTruncate                   // new length
+)
+
+// NewPersister wraps an open WAL.
+func NewPersister(l *wal.Log) *Persister {
+	return &Persister{log: l, votedFor: -1}
+}
+
+// Sync journals any hard-state changes the node accumulated since the
+// last call. Call it after every cluster step (or batch of steps); Raft
+// requires persistence before messages act on the state, and the
+// simulation's runner drains outboxes after Step — call Sync before
+// delivering, or accept the simulation-level simplification of syncing
+// per tick (what the tests do).
+func (p *Persister) Sync(n *Node) error {
+	if n.term != p.term || n.votedFor != p.votedFor {
+		var buf [16]byte
+		binary.BigEndian.PutUint64(buf[:8], uint64(n.term))
+		binary.BigEndian.PutUint64(buf[8:], uint64(n.votedFor)+1) // -1 → 0
+		if err := p.log.Append(wal.Record{Type: recHardState, Payload: buf[:]}); err != nil {
+			return err
+		}
+		p.term, p.votedFor = n.term, n.votedFor
+	}
+	// Detect truncation: a persisted index whose term changed.
+	last := n.lastIndex()
+	diverged := types.Seq(0)
+	for i := types.Seq(1); i <= p.length && i <= last; i++ {
+		if p.terms[i-1] != n.log[i].Term {
+			diverged = i
+			break
+		}
+	}
+	if diverged == 0 && last < p.length {
+		diverged = last + 1
+	}
+	if diverged > 0 {
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(diverged-1))
+		if err := p.log.Append(wal.Record{Type: recTruncate, Payload: buf[:]}); err != nil {
+			return err
+		}
+		p.length = diverged - 1
+		p.terms = p.terms[:p.length]
+	}
+	// Append new entries.
+	for i := p.length + 1; i <= last; i++ {
+		e := n.log[i]
+		payload := make([]byte, 16+len(e.Val))
+		binary.BigEndian.PutUint64(payload[:8], uint64(i))
+		binary.BigEndian.PutUint64(payload[8:16], uint64(e.Term))
+		copy(payload[16:], e.Val)
+		if err := p.log.Append(wal.Record{Type: recAppend, Payload: payload}); err != nil {
+			return err
+		}
+		p.length = i
+		p.terms = append(p.terms, e.Term)
+	}
+	return nil
+}
+
+// Restore rebuilds a node's hard state from the journal. The node must
+// be freshly constructed (empty log, term 0). Volatile state — role,
+// commit index, leader — re-converges through the protocol, exactly as
+// Raft specifies.
+func (p *Persister) Restore(n *Node) error {
+	if n.lastIndex() != 0 || n.term != 0 {
+		return fmt.Errorf("raft: Restore requires a fresh node")
+	}
+	err := p.log.Replay(func(r wal.Record) error {
+		switch r.Type {
+		case recHardState:
+			if len(r.Payload) != 16 {
+				return fmt.Errorf("raft: bad hard-state record")
+			}
+			n.term = Term(binary.BigEndian.Uint64(r.Payload[:8]))
+			n.votedFor = types.NodeID(binary.BigEndian.Uint64(r.Payload[8:])) - 1
+		case recAppend:
+			if len(r.Payload) < 16 {
+				return fmt.Errorf("raft: bad append record")
+			}
+			idx := types.Seq(binary.BigEndian.Uint64(r.Payload[:8]))
+			term := Term(binary.BigEndian.Uint64(r.Payload[8:16]))
+			if idx != n.lastIndex()+1 {
+				return fmt.Errorf("raft: append gap: %d after %d", idx, n.lastIndex())
+			}
+			var val types.Value
+			if len(r.Payload) > 16 {
+				val = append(types.Value(nil), r.Payload[16:]...)
+			}
+			n.log = append(n.log, LogEntry{Term: term, Val: val})
+		case recTruncate:
+			if len(r.Payload) != 8 {
+				return fmt.Errorf("raft: bad truncate record")
+			}
+			keep := types.Seq(binary.BigEndian.Uint64(r.Payload))
+			if keep > n.lastIndex() {
+				return fmt.Errorf("raft: truncate beyond log: %d > %d", keep, n.lastIndex())
+			}
+			n.log = n.log[:keep+1]
+		default:
+			return fmt.Errorf("raft: unknown record type %d", r.Type)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Sync the shadow to the restored state.
+	p.term, p.votedFor = n.term, n.votedFor
+	p.length = n.lastIndex()
+	p.terms = p.terms[:0]
+	for i := types.Seq(1); i <= n.lastIndex(); i++ {
+		p.terms = append(p.terms, n.log[i].Term)
+	}
+	return nil
+}

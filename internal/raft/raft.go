@@ -1,0 +1,508 @@
+// Package raft implements the Raft consensus algorithm the paper cites
+// as Paxos's understandability-focused equivalent (Ongaro & Ousterhout,
+// USENIX ATC 2014): randomized leader election on terms, log replication
+// with the Log Matching property enforced by AppendEntries consistency
+// checks, and the leader-completeness commit rule (a leader only commits
+// entries from its own term by counting replicas, which transitively
+// commits earlier entries).
+//
+// Profile: partially-synchronous, crash, pessimistic, known participants,
+// 2f+1 nodes, leader-based, O(N) messages per committed entry.
+package raft
+
+import (
+	"fmt"
+	"sort"
+
+	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/quorum"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+func init() {
+	core.Register(core.Profile{
+		Name:                 "raft",
+		Synchrony:            core.PartiallySynchronous,
+		Failure:              core.Crash,
+		Strategy:             core.Pessimistic,
+		Awareness:            core.KnownParticipants,
+		NodesFor:             func(f int) int { return 2*f + 1 },
+		NodesFormula:         "2f+1",
+		QuorumFor:            func(f int) int { return f + 1 },
+		CommitPhases:         1,
+		AltPhases:            2,
+		Complexity:           core.Linear,
+		ViewChangeComplexity: core.Linear,
+		Decomposition: []core.Phase{
+			core.LeaderElection, core.ValueDiscovery, core.FTAgreement, core.Decision,
+		},
+		Notes: "integrates consensus with log management; election safety via log up-to-date check",
+	})
+}
+
+// Term is a Raft term number.
+type Term uint64
+
+// LogEntry is one replicated log entry.
+type LogEntry struct {
+	Term Term
+	Val  types.Value
+}
+
+// MsgKind enumerates Raft message types.
+type MsgKind uint8
+
+const (
+	MsgRequestVote MsgKind = iota + 1
+	MsgVote
+	MsgAppend
+	MsgAppendResp
+	MsgForward
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgRequestVote:
+		return "request-vote"
+	case MsgVote:
+		return "vote"
+	case MsgAppend:
+		return "append-entries"
+	case MsgAppendResp:
+		return "append-resp"
+	case MsgForward:
+		return "forward"
+	}
+	return fmt.Sprintf("MsgKind(%d)", uint8(k))
+}
+
+// Message is a Raft wire message.
+type Message struct {
+	Kind     MsgKind
+	From, To types.NodeID
+	Term     Term
+
+	// RequestVote / Vote
+	LastLogIndex types.Seq
+	LastLogTerm  Term
+	Granted      bool
+
+	// AppendEntries / response
+	PrevIndex    types.Seq
+	PrevTerm     Term
+	Entries      []LogEntry
+	LeaderCommit types.Seq
+	Success      bool
+	MatchIndex   types.Seq
+
+	// Forward
+	Val types.Value
+}
+
+// Runner accessors.
+func Src(m Message) types.NodeID  { return m.From }
+func Dest(m Message) types.NodeID { return m.To }
+func Kind(m Message) string       { return m.Kind.String() }
+
+// Config tunes a node.
+type Config struct {
+	Peers []types.NodeID
+	// HeartbeatTicks is the leader's AppendEntries interval. Default 5.
+	HeartbeatTicks int
+	// ElectionTimeoutTicks is the base follower timeout; each reset adds
+	// seeded jitter in [0, ElectionTimeoutTicks). Default 30.
+	ElectionTimeoutTicks int
+	// MaxBatch bounds entries per AppendEntries. Default 64.
+	MaxBatch int
+	// Seed seeds the node's private RNG.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatTicks <= 0 {
+		c.HeartbeatTicks = 5
+	}
+	if c.ElectionTimeoutTicks <= 0 {
+		c.ElectionTimeoutTicks = 30
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	return c
+}
+
+type role uint8
+
+const (
+	follower role = iota
+	candidate
+	leader
+)
+
+// Node is one Raft replica.
+type Node struct {
+	id  types.NodeID
+	cfg Config
+	rng *simnet.RNG
+	q   quorum.Majority
+
+	role     role
+	term     Term
+	votedFor types.NodeID // -1 = none this term
+	lead     types.NodeID // -1 = unknown
+
+	// log[0] is a sentinel; real entries start at index 1.
+	log         []LogEntry
+	commitIndex types.Seq
+	applied     types.Seq
+	decisions   []types.Decision
+
+	// Candidate state.
+	votes *quorum.Tally
+
+	// Leader state.
+	nextIndex  map[types.NodeID]types.Seq
+	matchIndex map[types.NodeID]types.Seq
+
+	queued []types.Value // submissions awaiting a known leader
+
+	electionIn int
+	hbIn       int
+	elections  int
+
+	out []Message
+}
+
+// New builds a Raft replica.
+func New(id types.NodeID, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		id:       id,
+		cfg:      cfg,
+		rng:      simnet.NewRNG(cfg.Seed ^ (uint64(id)+7)<<20),
+		q:        quorum.Majority{N: len(cfg.Peers)},
+		votedFor: -1,
+		lead:     -1,
+		log:      []LogEntry{{}}, // sentinel at index 0
+	}
+	n.resetElectionTimer()
+	return n
+}
+
+func (n *Node) resetElectionTimer() {
+	n.electionIn = n.cfg.ElectionTimeoutTicks + n.rng.Intn(n.cfg.ElectionTimeoutTicks)
+}
+
+func (n *Node) lastIndex() types.Seq { return types.Seq(len(n.log) - 1) }
+func (n *Node) lastTerm() Term       { return n.log[len(n.log)-1].Term }
+
+func (n *Node) send(m Message) {
+	m.From = n.id
+	m.Term = n.term
+	n.out = append(n.out, m)
+}
+
+// IsLeader reports whether this node currently leads.
+func (n *Node) IsLeader() bool { return n.role == leader }
+
+// Leader returns the believed leader, or -1.
+func (n *Node) Leader() types.NodeID { return n.lead }
+
+// Term returns the current term.
+func (n *Node) Term() Term { return n.term }
+
+// Elections returns how many elections this node has started.
+func (n *Node) Elections() int { return n.elections }
+
+// CommitFrontier returns the commit index.
+func (n *Node) CommitFrontier() types.Seq { return n.commitIndex }
+
+// Log returns the node's log (sentinel included) for invariant checks.
+func (n *Node) Log() []LogEntry { return n.log }
+
+// TakeDecisions drains newly committed decisions in order.
+func (n *Node) TakeDecisions() []types.Decision {
+	d := n.decisions
+	n.decisions = nil
+	return d
+}
+
+// Submit hands a value to the cluster via this node.
+func (n *Node) Submit(v types.Value) {
+	switch {
+	case n.role == leader:
+		n.appendLocal(v)
+	case n.lead >= 0:
+		n.send(Message{Kind: MsgForward, To: n.lead, Val: v.Clone()})
+	default:
+		n.queued = append(n.queued, v.Clone())
+	}
+}
+
+func (n *Node) appendLocal(v types.Value) {
+	n.log = append(n.log, LogEntry{Term: n.term, Val: v.Clone()})
+	n.matchIndex[n.id] = n.lastIndex()
+	n.maybeCommit() // a single-node cluster commits immediately
+	n.replicateAll()
+}
+
+func (n *Node) becomeFollower(term Term, lead types.NodeID) {
+	prevLead := n.lead
+	if term > n.term {
+		n.term = term
+		n.votedFor = -1
+	}
+	n.role = follower
+	n.lead = lead
+	n.votes = nil
+	n.nextIndex, n.matchIndex = nil, nil
+	n.resetElectionTimer()
+	if lead >= 0 && lead != n.id && (prevLead != lead || len(n.queued) > 0) {
+		queued := n.queued
+		n.queued = nil
+		for _, v := range queued {
+			n.send(Message{Kind: MsgForward, To: lead, Val: v})
+		}
+	}
+}
+
+func (n *Node) campaign() {
+	n.elections++
+	n.role = candidate
+	n.term++
+	n.votedFor = n.id
+	n.lead = -1
+	n.votes = quorum.NewTally(n.q.Threshold())
+	n.votes.Add(n.id)
+	n.resetElectionTimer()
+	for _, p := range n.cfg.Peers {
+		if p == n.id {
+			continue
+		}
+		n.send(Message{
+			Kind: MsgRequestVote, To: p,
+			LastLogIndex: n.lastIndex(), LastLogTerm: n.lastTerm(),
+		})
+	}
+	if n.votes.Reached() { // single-node cluster
+		n.becomeLeader()
+	}
+}
+
+func (n *Node) becomeLeader() {
+	n.role = leader
+	n.lead = n.id
+	n.nextIndex = make(map[types.NodeID]types.Seq, len(n.cfg.Peers))
+	n.matchIndex = make(map[types.NodeID]types.Seq, len(n.cfg.Peers))
+	for _, p := range n.cfg.Peers {
+		n.nextIndex[p] = n.lastIndex() + 1
+		n.matchIndex[p] = 0
+	}
+	n.matchIndex[n.id] = n.lastIndex()
+	// A no-op entry from the new term lets the leader commit immediately
+	// (the classic "commit a current-term entry first" rule).
+	n.log = append(n.log, LogEntry{Term: n.term})
+	n.matchIndex[n.id] = n.lastIndex()
+	queued := n.queued
+	n.queued = nil
+	for _, v := range queued {
+		n.log = append(n.log, LogEntry{Term: n.term, Val: v})
+		n.matchIndex[n.id] = n.lastIndex()
+	}
+	n.hbIn = 0
+	n.maybeCommit()
+	n.replicateAll()
+}
+
+func (n *Node) replicateAll() {
+	for _, p := range n.cfg.Peers {
+		if p != n.id {
+			n.replicateTo(p)
+		}
+	}
+	n.hbIn = n.cfg.HeartbeatTicks
+}
+
+func (n *Node) replicateTo(p types.NodeID) {
+	next := n.nextIndex[p]
+	if next < 1 {
+		next = 1
+	}
+	prev := next - 1
+	var batch []LogEntry
+	for i := next; i <= n.lastIndex() && len(batch) < n.cfg.MaxBatch; i++ {
+		e := n.log[i]
+		batch = append(batch, LogEntry{Term: e.Term, Val: e.Val.Clone()})
+	}
+	n.send(Message{
+		Kind: MsgAppend, To: p,
+		PrevIndex: prev, PrevTerm: n.log[prev].Term,
+		Entries: batch, LeaderCommit: n.commitIndex,
+	})
+}
+
+// Step consumes one delivered message.
+func (n *Node) Step(m Message) {
+	if m.Term > n.term {
+		n.becomeFollower(m.Term, -1)
+	}
+	switch m.Kind {
+	case MsgRequestVote:
+		n.onRequestVote(m)
+	case MsgVote:
+		n.onVote(m)
+	case MsgAppend:
+		n.onAppend(m)
+	case MsgAppendResp:
+		n.onAppendResp(m)
+	case MsgForward:
+		if n.role == leader {
+			n.appendLocal(m.Val)
+		} else if n.lead >= 0 && n.lead != n.id {
+			n.send(Message{Kind: MsgForward, To: n.lead, Val: m.Val})
+		} else {
+			n.queued = append(n.queued, m.Val.Clone())
+		}
+	}
+}
+
+func (n *Node) onRequestVote(m Message) {
+	grant := false
+	if m.Term >= n.term && (n.votedFor == -1 || n.votedFor == m.From) {
+		// Election safety: only vote for candidates whose log is at
+		// least as up-to-date as ours.
+		upToDate := m.LastLogTerm > n.lastTerm() ||
+			(m.LastLogTerm == n.lastTerm() && m.LastLogIndex >= n.lastIndex())
+		if upToDate {
+			grant = true
+			n.votedFor = m.From
+			n.resetElectionTimer()
+		}
+	}
+	n.send(Message{Kind: MsgVote, To: m.From, Granted: grant})
+}
+
+func (n *Node) onVote(m Message) {
+	if n.role != candidate || m.Term != n.term || !m.Granted {
+		return
+	}
+	if n.votes.Add(m.From) {
+		n.becomeLeader()
+	}
+}
+
+func (n *Node) onAppend(m Message) {
+	if m.Term < n.term {
+		n.send(Message{Kind: MsgAppendResp, To: m.From, Success: false, MatchIndex: 0})
+		return
+	}
+	n.becomeFollower(m.Term, m.From)
+	// Log Matching check.
+	if m.PrevIndex > n.lastIndex() || n.log[m.PrevIndex].Term != m.PrevTerm {
+		n.send(Message{Kind: MsgAppendResp, To: m.From, Success: false, MatchIndex: n.commitIndex})
+		return
+	}
+	// Append, truncating conflicts.
+	idx := m.PrevIndex
+	for i, e := range m.Entries {
+		idx = m.PrevIndex + types.Seq(i) + 1
+		if idx <= n.lastIndex() {
+			if n.log[idx].Term == e.Term {
+				continue
+			}
+			if idx <= n.commitIndex {
+				panic(fmt.Sprintf("raft: node %v truncating committed index %d", n.id, idx))
+			}
+			n.log = n.log[:idx]
+		}
+		n.log = append(n.log, LogEntry{Term: e.Term, Val: e.Val.Clone()})
+	}
+	match := m.PrevIndex + types.Seq(len(m.Entries))
+	if m.LeaderCommit > n.commitIndex {
+		upTo := m.LeaderCommit
+		if match < upTo {
+			upTo = match
+		}
+		n.advanceCommit(upTo)
+	}
+	n.send(Message{Kind: MsgAppendResp, To: m.From, Success: true, MatchIndex: match})
+}
+
+func (n *Node) onAppendResp(m Message) {
+	if n.role != leader || m.Term != n.term {
+		return
+	}
+	if !m.Success {
+		// Back off toward the follower's commit frontier and retry.
+		next := n.nextIndex[m.From]
+		if m.MatchIndex+1 < next {
+			n.nextIndex[m.From] = m.MatchIndex + 1
+		} else if next > 1 {
+			n.nextIndex[m.From] = next - 1
+		}
+		n.replicateTo(m.From)
+		return
+	}
+	if m.MatchIndex > n.matchIndex[m.From] {
+		n.matchIndex[m.From] = m.MatchIndex
+	}
+	n.nextIndex[m.From] = m.MatchIndex + 1
+	n.maybeCommit()
+	if n.nextIndex[m.From] <= n.lastIndex() {
+		n.replicateTo(m.From)
+	}
+}
+
+// maybeCommit advances the commit index to the highest current-term
+// index replicated on a majority.
+func (n *Node) maybeCommit() {
+	matches := make([]types.Seq, 0, len(n.cfg.Peers))
+	for _, p := range n.cfg.Peers {
+		matches = append(matches, n.matchIndex[p])
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
+	candidate := matches[n.q.Threshold()-1]
+	if candidate > n.commitIndex && n.log[candidate].Term == n.term {
+		n.advanceCommit(candidate)
+		// Propagate the new commit index promptly.
+		n.replicateAll()
+	}
+}
+
+func (n *Node) advanceCommit(to types.Seq) {
+	if to > n.lastIndex() {
+		to = n.lastIndex()
+	}
+	if to <= n.commitIndex {
+		return
+	}
+	n.commitIndex = to
+	for n.applied < n.commitIndex {
+		n.applied++
+		n.decisions = append(n.decisions, types.Decision{Slot: n.applied, Val: n.log[n.applied].Val})
+	}
+}
+
+// Tick advances timers.
+func (n *Node) Tick() {
+	switch n.role {
+	case leader:
+		n.hbIn--
+		if n.hbIn <= 0 {
+			n.replicateAll()
+		}
+	default:
+		n.electionIn--
+		if n.electionIn <= 0 {
+			n.campaign()
+		}
+	}
+}
+
+// Drain returns pending outbound messages.
+func (n *Node) Drain() []Message {
+	out := n.out
+	n.out = nil
+	return out
+}

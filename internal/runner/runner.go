@@ -1,0 +1,267 @@
+// Package runner executes a cluster of protocol state machines over the
+// simnet fabric. Every protocol in this repository is written as a
+// deterministic state machine — Step consumes one message, Tick advances
+// one logical time unit, Drain yields outbound messages — and the runner
+// supplies the event loop: a priority queue of in-flight messages whose
+// delivery times come from the fabric.
+//
+// The runner is generic over the protocol's message type, so Paxos
+// messages and PBFT messages never mix, and it supports byzantine
+// injection by intercepting a node's outbox with a mutator.
+package runner
+
+import (
+	"container/heap"
+	"sort"
+
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+// Node is the contract every protocol replica implements.
+type Node[M any] interface {
+	// Step consumes one delivered message.
+	Step(m M)
+	// Tick advances the node's local clock by one unit (timeout logic).
+	Tick()
+	// Drain removes and returns messages the node wants to send.
+	Drain() []M
+}
+
+// Interceptor rewrites a node's outbound messages; returning nil drops
+// the message. Byzantine behaviours (equivocation, corruption, silence)
+// are expressed as interceptors so protocol code stays honest.
+type Interceptor[M any] func(m M) []M
+
+// Config wires a Cluster. Dest and Src extract addressing from a message;
+// Kind (optional) labels messages for complexity accounting.
+type Config[M any] struct {
+	Fabric *simnet.Fabric
+	Dest   func(M) types.NodeID
+	Src    func(M) types.NodeID
+	Kind   func(M) string
+}
+
+// Stats aggregates message-complexity metrics for an experiment run.
+type Stats struct {
+	Sent      int            // messages handed to the fabric
+	Delivered int            // messages that reached a Step call
+	Dropped   int            // lost to drops, partitions, or crashes
+	ByKind    map[string]int // delivered counts per message kind
+	Ticks     int            // elapsed logical time
+}
+
+type event[M any] struct {
+	at  int
+	seq uint64 // tie-break for determinism
+	msg M
+}
+
+type eventHeap[M any] []event[M]
+
+func (h eventHeap[M]) Len() int { return len(h) }
+func (h eventHeap[M]) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap[M]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap[M]) Push(x any)   { *h = append(*h, x.(event[M])) }
+func (h *eventHeap[M]) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Cluster runs a set of protocol nodes over one fabric.
+type Cluster[M any] struct {
+	cfg       Config[M]
+	nodes     map[types.NodeID]Node[M]
+	order     []types.NodeID // deterministic iteration order
+	intercept map[types.NodeID]Interceptor[M]
+	paused    map[types.NodeID]bool // crashed nodes don't Step or Tick
+	queue     eventHeap[M]
+	seq       uint64
+	now       int
+	stats     Stats
+}
+
+// New builds an empty cluster.
+func New[M any](cfg Config[M]) *Cluster[M] {
+	if cfg.Fabric == nil {
+		cfg.Fabric = simnet.NewFabric(simnet.Options{})
+	}
+	return &Cluster[M]{
+		cfg:       cfg,
+		nodes:     make(map[types.NodeID]Node[M]),
+		intercept: make(map[types.NodeID]Interceptor[M]),
+		paused:    make(map[types.NodeID]bool),
+		stats:     Stats{ByKind: make(map[string]int)},
+	}
+}
+
+// Add registers a node under id. Adding replaces any previous node.
+func (c *Cluster[M]) Add(id types.NodeID, n Node[M]) {
+	if _, ok := c.nodes[id]; !ok {
+		c.order = append(c.order, id)
+		sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+	}
+	c.nodes[id] = n
+}
+
+// Node returns the node registered under id, or nil.
+func (c *Cluster[M]) Node(id types.NodeID) Node[M] { return c.nodes[id] }
+
+// Intercept installs a byzantine outbox mutator for node id.
+func (c *Cluster[M]) Intercept(id types.NodeID, f Interceptor[M]) { c.intercept[id] = f }
+
+// Crash stops a node from stepping/ticking and cuts it off the network.
+func (c *Cluster[M]) Crash(id types.NodeID) {
+	c.paused[id] = true
+	c.cfg.Fabric.Crash(id)
+}
+
+// Restart resumes a crashed node. Protocol state is whatever the node
+// object still holds; protocols that persist via WAL reload externally.
+func (c *Cluster[M]) Restart(id types.NodeID) {
+	delete(c.paused, id)
+	c.cfg.Fabric.Restart(id)
+}
+
+// Crashed reports whether id is currently crashed.
+func (c *Cluster[M]) Crashed(id types.NodeID) bool { return c.paused[id] }
+
+// Now returns the current logical time in ticks.
+func (c *Cluster[M]) Now() int { return c.now }
+
+// Fabric returns the cluster's network fabric for fault injection.
+func (c *Cluster[M]) Fabric() *simnet.Fabric { return c.cfg.Fabric }
+
+// Stats returns a snapshot of the run's message accounting.
+func (c *Cluster[M]) Stats() Stats {
+	s := c.stats
+	s.Ticks = c.now
+	kinds := make(map[string]int, len(c.stats.ByKind))
+	for k, v := range c.stats.ByKind {
+		kinds[k] = v
+	}
+	s.ByKind = kinds
+	return s
+}
+
+// ResetStats zeroes message accounting (useful to measure steady state
+// after warmup).
+func (c *Cluster[M]) ResetStats() {
+	c.stats = Stats{ByKind: make(map[string]int)}
+}
+
+// Inject queues a message from outside the cluster (a client) for
+// delivery one tick from now, bypassing fabric drop decisions so tests
+// can rely on requests arriving.
+func (c *Cluster[M]) Inject(m M) { c.InjectDelayed(m, 1) }
+
+// InjectDelayed queues an outside message for delivery after the given
+// number of ticks (minimum 1), modelling client-side network jitter.
+func (c *Cluster[M]) InjectDelayed(m M, delay int) {
+	if delay < 1 {
+		delay = 1
+	}
+	c.seq++
+	heap.Push(&c.queue, event[M]{at: c.now + delay, seq: c.seq, msg: m})
+}
+
+// send routes one protocol-emitted message through the fabric.
+func (c *Cluster[M]) send(m M) {
+	from, to := c.cfg.Src(m), c.cfg.Dest(m)
+	c.stats.Sent++
+	v, dup, hasDup := c.cfg.Fabric.Classify(from, to)
+	if v.Drop {
+		c.stats.Dropped++
+	} else {
+		c.seq++
+		heap.Push(&c.queue, event[M]{at: c.now + v.Delay, seq: c.seq, msg: m})
+	}
+	if hasDup && !dup.Drop {
+		c.seq++
+		heap.Push(&c.queue, event[M]{at: c.now + dup.Delay, seq: c.seq, msg: m})
+	}
+}
+
+// collect drains every node's outbox into the fabric, applying
+// interceptors. It loops until no node emits anything so that a message
+// generated in response to a Tick is posted in the same tick.
+func (c *Cluster[M]) collect() {
+	for {
+		emitted := false
+		for _, id := range c.order {
+			if c.paused[id] {
+				continue
+			}
+			out := c.nodes[id].Drain()
+			if len(out) == 0 {
+				continue
+			}
+			emitted = true
+			mut := c.intercept[id]
+			for _, m := range out {
+				if mut == nil {
+					c.send(m)
+					continue
+				}
+				for _, mm := range mut(m) {
+					c.send(mm)
+				}
+			}
+		}
+		if !emitted {
+			return
+		}
+	}
+}
+
+// Step advances the simulation one tick: deliver all messages due now,
+// tick every node, and post newly generated messages.
+func (c *Cluster[M]) Step() {
+	c.now++
+	for len(c.queue) > 0 && c.queue[0].at <= c.now {
+		e := heap.Pop(&c.queue).(event[M])
+		to := c.cfg.Dest(e.msg)
+		n, ok := c.nodes[to]
+		if !ok || c.paused[to] || c.cfg.Fabric.Down(to) {
+			c.stats.Dropped++
+			continue
+		}
+		c.stats.Delivered++
+		if c.cfg.Kind != nil {
+			c.stats.ByKind[c.cfg.Kind(e.msg)]++
+		}
+		n.Step(e.msg)
+		c.collect()
+	}
+	for _, id := range c.order {
+		if c.paused[id] {
+			continue
+		}
+		c.nodes[id].Tick()
+	}
+	c.collect()
+}
+
+// Run advances the simulation by n ticks.
+func (c *Cluster[M]) Run(n int) {
+	for i := 0; i < n; i++ {
+		c.Step()
+	}
+}
+
+// RunUntil steps until pred returns true or maxTicks elapse, reporting
+// whether pred fired.
+func (c *Cluster[M]) RunUntil(pred func() bool, maxTicks int) bool {
+	for i := 0; i < maxTicks; i++ {
+		if pred() {
+			return true
+		}
+		c.Step()
+	}
+	return pred()
+}
+
+// Pending returns the number of in-flight messages.
+func (c *Cluster[M]) Pending() int { return len(c.queue) }

@@ -1,0 +1,215 @@
+package runner
+
+import (
+	"testing"
+
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+// pingMsg is a toy protocol message: a counter relayed around a ring.
+type pingMsg struct {
+	from, to types.NodeID
+	hop      int
+	kind     string
+}
+
+// ringNode forwards each received ping to the next node until hop limit.
+type ringNode struct {
+	id       types.NodeID
+	n        int
+	maxHop   int
+	received int
+	out      []pingMsg
+}
+
+func (r *ringNode) Step(m pingMsg) {
+	r.received++
+	if m.hop < r.maxHop {
+		r.out = append(r.out, pingMsg{
+			from: r.id, to: types.NodeID((int(r.id) + 1) % r.n),
+			hop: m.hop + 1, kind: "ping",
+		})
+	}
+}
+func (r *ringNode) Tick() {}
+func (r *ringNode) Drain() []pingMsg {
+	out := r.out
+	r.out = nil
+	return out
+}
+
+func ringCluster(n, maxHop int, fabric *simnet.Fabric) (*Cluster[pingMsg], []*ringNode) {
+	c := New(Config[pingMsg]{
+		Fabric: fabric,
+		Dest:   func(m pingMsg) types.NodeID { return m.to },
+		Src:    func(m pingMsg) types.NodeID { return m.from },
+		Kind:   func(m pingMsg) string { return m.kind },
+	})
+	nodes := make([]*ringNode, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = &ringNode{id: types.NodeID(i), n: n, maxHop: maxHop}
+		c.Add(types.NodeID(i), nodes[i])
+	}
+	return c, nodes
+}
+
+func TestRingDelivery(t *testing.T) {
+	c, nodes := ringCluster(5, 10, nil)
+	c.Inject(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"})
+	c.Run(30)
+	total := 0
+	for _, n := range nodes {
+		total += n.received
+	}
+	if total != 11 { // injected ping + 10 relays
+		t.Fatalf("total received = %d, want 11", total)
+	}
+	st := c.Stats()
+	if st.Delivered != 11 || st.ByKind["ping"] != 11 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Sent != 10 { // injections bypass the fabric
+		t.Fatalf("sent = %d, want 10", st.Sent)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (int, Stats) {
+		fab := simnet.NewFabric(simnet.Options{MinDelay: 1, MaxDelay: 7, DropRate: 0.1, Seed: 99})
+		c, nodes := ringCluster(7, 50, fab)
+		c.Inject(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"})
+		c.Run(200)
+		total := 0
+		for _, n := range nodes {
+			total += n.received
+		}
+		return total, c.Stats()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 || s1.Delivered != s2.Delivered || s1.Dropped != s2.Dropped {
+		t.Fatalf("replay diverged: (%d,%+v) vs (%d,%+v)", t1, s1, t2, s2)
+	}
+}
+
+func TestCrashStopsDelivery(t *testing.T) {
+	c, nodes := ringCluster(3, 100, nil)
+	c.Crash(1)
+	if !c.Crashed(1) {
+		t.Fatal("Crashed(1) false after Crash")
+	}
+	c.Inject(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"})
+	c.Run(50)
+	if nodes[1].received != 0 {
+		t.Fatalf("crashed node received %d messages", nodes[1].received)
+	}
+	// The ring is broken at node 1, so node 2 gets nothing either.
+	if nodes[2].received != 0 {
+		t.Fatalf("node past crash received %d", nodes[2].received)
+	}
+	c.Restart(1)
+	c.Inject(pingMsg{from: -1, to: 1, hop: 0, kind: "ping"})
+	c.Run(50)
+	if nodes[1].received == 0 {
+		t.Fatal("restarted node received nothing")
+	}
+}
+
+func TestInterceptorEquivocation(t *testing.T) {
+	c, nodes := ringCluster(4, 3, nil)
+	// Node 0 duplicates everything it sends to two destinations.
+	c.Intercept(0, func(m pingMsg) []pingMsg {
+		m2 := m
+		m2.to = types.NodeID((int(m.to) + 1) % 4)
+		return []pingMsg{m, m2}
+	})
+	c.Inject(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"})
+	c.Run(30)
+	if nodes[2].received == 0 {
+		t.Fatal("equivocated copy never arrived")
+	}
+}
+
+func TestInterceptorDrop(t *testing.T) {
+	c, nodes := ringCluster(3, 10, nil)
+	c.Intercept(0, func(m pingMsg) []pingMsg { return nil })
+	c.Inject(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"})
+	c.Run(30)
+	if nodes[1].received != 0 {
+		t.Fatal("dropped message was delivered")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c, nodes := ringCluster(5, 10, nil)
+	c.Inject(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"})
+	ok := c.RunUntil(func() bool { return nodes[0].received >= 2 }, 100)
+	if !ok {
+		t.Fatal("RunUntil never satisfied")
+	}
+	if c.Now() >= 100 {
+		t.Fatalf("RunUntil ran to the cap (%d ticks)", c.Now())
+	}
+	if c.RunUntil(func() bool { return false }, 5) {
+		t.Fatal("RunUntil reported success on constant-false predicate")
+	}
+}
+
+// tickerNode emits one message per tick, to exercise Tick-driven sends.
+type tickerNode struct {
+	id    types.NodeID
+	sent  int
+	out   []pingMsg
+	recvd int
+}
+
+func (tk *tickerNode) Step(m pingMsg) { tk.recvd++ }
+func (tk *tickerNode) Tick() {
+	tk.sent++
+	tk.out = append(tk.out, pingMsg{from: tk.id, to: 1 - tk.id, kind: "tick"})
+}
+func (tk *tickerNode) Drain() []pingMsg { out := tk.out; tk.out = nil; return out }
+
+func TestTickDrivenSends(t *testing.T) {
+	c := New(Config[pingMsg]{
+		Dest: func(m pingMsg) types.NodeID { return m.to },
+		Src:  func(m pingMsg) types.NodeID { return m.from },
+	})
+	a, b := &tickerNode{id: 0}, &tickerNode{id: 1}
+	c.Add(0, a)
+	c.Add(1, b)
+	c.Run(10)
+	if a.sent != 10 || b.sent != 10 {
+		t.Fatalf("ticks: %d, %d; want 10 each", a.sent, b.sent)
+	}
+	if a.recvd == 0 || b.recvd == 0 {
+		t.Fatal("tick-driven messages never delivered")
+	}
+	if c.Pending() == 0 {
+		t.Log("note: all messages flushed (MinDelay=1)")
+	}
+	c.ResetStats()
+	if c.Stats().Delivered != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestInjectDelayed(t *testing.T) {
+	c, nodes := ringCluster(3, 0, nil)
+	c.InjectDelayed(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"}, 10)
+	c.Run(5)
+	if nodes[0].received != 0 {
+		t.Fatal("delayed injection arrived early")
+	}
+	c.Run(10)
+	if nodes[0].received != 1 {
+		t.Fatal("delayed injection never arrived")
+	}
+	// Delay below 1 clamps to 1.
+	c.InjectDelayed(pingMsg{from: -1, to: 1, hop: 0, kind: "ping"}, -5)
+	c.Run(2)
+	if nodes[1].received != 1 {
+		t.Fatal("clamped injection lost")
+	}
+}

@@ -1,0 +1,203 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fortyconsensus/internal/types"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequences diverge at %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds look identical (%d collisions)", same)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGRangeInclusive(t *testing.T) {
+	r := NewRNG(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Range(2, 4)
+		if v < 2 || v > 4 {
+			t.Fatalf("Range out of bounds: %d", v)
+		}
+		seen[v] = true
+	}
+	if !seen[2] || !seen[3] || !seen[4] {
+		t.Fatalf("Range never produced an endpoint: %v", seen)
+	}
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.3) {
+			trues++
+		}
+	}
+	if trues < 2700 || trues > 3300 {
+		t.Fatalf("Bool(0.3) frequency %d/10000 far from 3000", trues)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(10)
+		seen := map[int]bool{}
+		for _, v := range p {
+			if v < 0 || v >= 10 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == 10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFabricDefaults(t *testing.T) {
+	f := NewFabric(Options{})
+	v, _, dup := f.Classify(0, 1)
+	if v.Drop || v.Delay != 1 || dup {
+		t.Fatalf("default fabric verdict = %+v dup=%v", v, dup)
+	}
+}
+
+func TestFabricDelayBounds(t *testing.T) {
+	f := NewFabric(Options{MinDelay: 3, MaxDelay: 9, Seed: 7})
+	for i := 0; i < 1000; i++ {
+		v, _, _ := f.Classify(0, 1)
+		if v.Delay < 3 || v.Delay > 9 {
+			t.Fatalf("delay %d outside [3,9]", v.Delay)
+		}
+	}
+}
+
+func TestFabricDropRate(t *testing.T) {
+	f := NewFabric(Options{DropRate: 0.5, Seed: 11})
+	drops := 0
+	for i := 0; i < 10000; i++ {
+		v, _, _ := f.Classify(0, 1)
+		if v.Drop {
+			drops++
+		}
+	}
+	if drops < 4500 || drops > 5500 {
+		t.Fatalf("drop frequency %d/10000 far from 5000", drops)
+	}
+}
+
+func TestFabricPartition(t *testing.T) {
+	f := NewFabric(Options{})
+	f.Partition([]types.NodeID{0, 1}, []types.NodeID{2, 3})
+	if !f.Blocked(0, 2) || !f.Blocked(3, 1) {
+		t.Fatal("cross-partition links not blocked")
+	}
+	if f.Blocked(0, 1) || f.Blocked(2, 3) {
+		t.Fatal("intra-partition links blocked")
+	}
+	f.Heal()
+	if f.Blocked(0, 2) {
+		t.Fatal("heal did not restore connectivity")
+	}
+}
+
+func TestFabricCrashRestart(t *testing.T) {
+	f := NewFabric(Options{})
+	f.Crash(1)
+	if !f.Blocked(0, 1) || !f.Blocked(1, 0) || !f.Down(1) {
+		t.Fatal("crashed node still reachable")
+	}
+	f.Restart(1)
+	if f.Blocked(0, 1) || f.Down(1) {
+		t.Fatal("restart did not reconnect")
+	}
+}
+
+func TestFabricLinkControls(t *testing.T) {
+	f := NewFabric(Options{})
+	f.CutLink(0, 1)
+	if !f.Blocked(0, 1) {
+		t.Fatal("cut link not blocked")
+	}
+	if f.Blocked(1, 0) {
+		t.Fatal("cut is directed; reverse should pass")
+	}
+	f.RestoreLink(0, 1)
+	if f.Blocked(0, 1) {
+		t.Fatal("restore failed")
+	}
+
+	f.SetLinkDelay(2, 3, 50, 60)
+	for i := 0; i < 100; i++ {
+		v, _, _ := f.Classify(2, 3)
+		if v.Delay < 50 || v.Delay > 60 {
+			t.Fatalf("link delay override ignored: %d", v.Delay)
+		}
+	}
+}
+
+func TestFabricDuplicates(t *testing.T) {
+	f := NewFabric(Options{DupRate: 1, Seed: 3})
+	_, dup, hasDup := f.Classify(0, 1)
+	if !hasDup || dup.Delay < 1 {
+		t.Fatalf("DupRate=1 produced no duplicate (%v, %v)", dup, hasDup)
+	}
+}
+
+func TestFabricSelfDelivery(t *testing.T) {
+	f := NewFabric(Options{MinDelay: 5, MaxDelay: 9})
+	v, _, _ := f.Classify(2, 2)
+	if v.Delay != 1 {
+		t.Fatalf("loopback delay = %d, want 1", v.Delay)
+	}
+}

@@ -1,0 +1,156 @@
+// Package smr is the state-machine-replication shell shared by every
+// protocol: it encodes client requests into consensus values, applies
+// committed slots to the application state machine in order, and
+// deduplicates client retries so a command executes exactly once even
+// when the client or the protocol retransmits — the "replicated log"
+// slides of the paper.
+package smr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"fortyconsensus/internal/types"
+)
+
+// StateMachine is the replicated application. kvstore.Store implements it.
+type StateMachine interface {
+	Apply(cmd types.Value) types.Value
+}
+
+// EncodeRequest packs a client request into a consensus value:
+// u64 client | u64 seqno | op bytes.
+func EncodeRequest(r types.Request) types.Value {
+	buf := make([]byte, 0, 16+len(r.Op))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Client))
+	buf = binary.BigEndian.AppendUint64(buf, r.SeqNo)
+	buf = append(buf, r.Op...)
+	return types.Value(buf)
+}
+
+// ErrDecode reports a malformed encoded request.
+var ErrDecode = errors.New("smr: malformed request encoding")
+
+// DecodeRequest unpacks a consensus value into a client request.
+func DecodeRequest(v types.Value) (types.Request, error) {
+	if len(v) < 16 {
+		return types.Request{}, ErrDecode
+	}
+	r := types.Request{
+		Client: types.ClientID(binary.BigEndian.Uint64(v)),
+		SeqNo:  binary.BigEndian.Uint64(v[8:]),
+	}
+	if len(v) > 16 {
+		r.Op = append(types.Value(nil), v[16:]...)
+	}
+	return r, nil
+}
+
+// Executor applies committed decisions to a state machine in slot order,
+// holding out-of-order commits until their predecessors arrive, and
+// deduplicates per-client sequence numbers.
+type Executor struct {
+	node    types.NodeID
+	sm      StateMachine
+	next    types.Seq
+	pending map[types.Seq]types.Value
+	// lastSeq and lastReply implement client-session dedup: a request
+	// whose seqno is not greater than the last executed one returns the
+	// cached reply without re-executing.
+	lastSeq   map[types.ClientID]uint64
+	lastReply map[types.ClientID]types.Value
+	applied   []types.Decision // full apply history for consistency audits
+}
+
+// NewExecutor returns an executor for node applying to sm, starting at
+// slot 1.
+func NewExecutor(node types.NodeID, sm StateMachine) *Executor {
+	return &Executor{
+		node:      node,
+		sm:        sm,
+		next:      1,
+		pending:   make(map[types.Seq]types.Value),
+		lastSeq:   make(map[types.ClientID]uint64),
+		lastReply: make(map[types.ClientID]types.Value),
+	}
+}
+
+// Commit hands the executor one decided slot. It returns the replies
+// produced by every newly applicable slot (possibly none, if the slot is
+// ahead of the apply frontier; possibly several, if it fills a gap).
+// Committing two different values to one slot panics: that is a consensus
+// safety violation, and the simulation must fail loudly.
+func (e *Executor) Commit(d types.Decision) []types.Reply {
+	if d.Slot < e.next {
+		return nil // already applied (duplicate decision)
+	}
+	if prev, ok := e.pending[d.Slot]; ok {
+		if !prev.Equal(d.Val) {
+			panic(fmt.Sprintf("smr: node %v slot %d decided twice: %q vs %q", e.node, d.Slot, prev, d.Val))
+		}
+		return nil
+	}
+	e.pending[d.Slot] = d.Val.Clone()
+	var replies []types.Reply
+	for {
+		val, ok := e.pending[e.next]
+		if !ok {
+			return replies
+		}
+		delete(e.pending, e.next)
+		if r, ok := e.apply(e.next, val); ok {
+			replies = append(replies, r)
+		}
+		e.next++
+	}
+}
+
+func (e *Executor) apply(slot types.Seq, val types.Value) (types.Reply, bool) {
+	e.applied = append(e.applied, types.Decision{Slot: slot, Val: val})
+	req, err := DecodeRequest(val)
+	if err != nil {
+		// Not a client request (e.g. a leader no-op): apply raw with no
+		// reply routing.
+		e.sm.Apply(val)
+		return types.Reply{}, false
+	}
+	if req.SeqNo <= e.lastSeq[req.Client] && e.lastSeq[req.Client] != 0 {
+		return types.Reply{
+			Client: req.Client, SeqNo: req.SeqNo,
+			Result: e.lastReply[req.Client], Node: e.node,
+		}, true
+	}
+	res := e.sm.Apply(req.Op)
+	e.lastSeq[req.Client] = req.SeqNo
+	e.lastReply[req.Client] = res
+	return types.Reply{Client: req.Client, SeqNo: req.SeqNo, Result: res, Node: e.node}, true
+}
+
+// NextSlot returns the first unapplied slot (the apply frontier).
+func (e *Executor) NextSlot() types.Seq { return e.next }
+
+// Applied returns the executor's full apply history in order.
+func (e *Executor) Applied() []types.Decision { return e.applied }
+
+// CheckPrefixConsistency verifies that every executor applied the same
+// value at every slot both applied — the fundamental SMR safety
+// invariant. It returns an error naming the first divergence.
+func CheckPrefixConsistency(execs ...*Executor) error {
+	for i := 0; i < len(execs); i++ {
+		for j := i + 1; j < len(execs); j++ {
+			a, b := execs[i].Applied(), execs[j].Applied()
+			n := len(a)
+			if len(b) < n {
+				n = len(b)
+			}
+			for k := 0; k < n; k++ {
+				if a[k].Slot != b[k].Slot || !a[k].Val.Equal(b[k].Val) {
+					return fmt.Errorf("smr: divergence at position %d: node %v has (%d,%q), node %v has (%d,%q)",
+						k, execs[i].node, a[k].Slot, a[k].Val, execs[j].node, b[k].Slot, b[k].Val)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package smr
+
+import (
+	"testing"
+
+	"fortyconsensus/internal/kvstore"
+	"fortyconsensus/internal/types"
+)
+
+func req(client types.ClientID, seq uint64, cmd kvstore.Command) types.Value {
+	return EncodeRequest(types.Request{Client: client, SeqNo: seq, Op: cmd.Encode()})
+}
+
+func TestRequestCodec(t *testing.T) {
+	r := types.Request{Client: 7, SeqNo: 42, Op: types.Value("payload")}
+	got, err := DecodeRequest(EncodeRequest(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Client != 7 || got.SeqNo != 42 || !got.Op.Equal(r.Op) {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, err := DecodeRequest(types.Value("short")); err == nil {
+		t.Fatal("decoded short payload")
+	}
+	empty := types.Request{Client: 1, SeqNo: 1}
+	got, err = DecodeRequest(EncodeRequest(empty))
+	if err != nil || got.Op != nil {
+		t.Fatalf("empty op round trip: %+v, %v", got, err)
+	}
+}
+
+func TestExecutorInOrderApply(t *testing.T) {
+	e := NewExecutor(0, kvstore.New())
+	r1 := e.Commit(types.Decision{Slot: 1, Val: req(1, 1, kvstore.Put("a", []byte("1")))})
+	if len(r1) != 1 || !r1[0].Result.Equal(kvstore.ReplyOK) {
+		t.Fatalf("slot 1 replies = %+v", r1)
+	}
+	r2 := e.Commit(types.Decision{Slot: 2, Val: req(1, 2, kvstore.Get("a"))})
+	if len(r2) != 1 || !r2[0].Result.Equal(types.Value("1")) {
+		t.Fatalf("slot 2 replies = %+v", r2)
+	}
+	if e.NextSlot() != 3 {
+		t.Fatalf("next slot = %d", e.NextSlot())
+	}
+}
+
+func TestExecutorHoldsGaps(t *testing.T) {
+	e := NewExecutor(0, kvstore.New())
+	if got := e.Commit(types.Decision{Slot: 3, Val: req(1, 3, kvstore.Get("x"))}); got != nil {
+		t.Fatalf("applied slot 3 before 1-2: %+v", got)
+	}
+	if got := e.Commit(types.Decision{Slot: 2, Val: req(1, 2, kvstore.Put("x", []byte("v")))}); got != nil {
+		t.Fatalf("applied slot 2 before 1: %+v", got)
+	}
+	got := e.Commit(types.Decision{Slot: 1, Val: req(1, 1, kvstore.Noop())})
+	if len(got) != 3 {
+		t.Fatalf("gap fill applied %d slots, want 3", len(got))
+	}
+	// Slot 3's GET must observe slot 2's PUT.
+	if !got[2].Result.Equal(types.Value("v")) {
+		t.Fatalf("slot 3 result = %q", got[2].Result)
+	}
+}
+
+func TestExecutorDuplicateDecisionIgnored(t *testing.T) {
+	e := NewExecutor(0, kvstore.New())
+	d := types.Decision{Slot: 1, Val: req(1, 1, kvstore.Incr("n", 1))}
+	e.Commit(d)
+	if got := e.Commit(d); got != nil {
+		t.Fatalf("duplicate decision re-applied: %+v", got)
+	}
+	if len(e.Applied()) != 1 {
+		t.Fatalf("applied %d times", len(e.Applied()))
+	}
+}
+
+func TestExecutorPanicsOnConflictingDecision(t *testing.T) {
+	e := NewExecutor(0, kvstore.New())
+	e.Commit(types.Decision{Slot: 5, Val: types.Value("aaaaaaaaaaaaaaaaaa")})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting pending decision did not panic")
+		}
+	}()
+	e.Commit(types.Decision{Slot: 5, Val: types.Value("bbbbbbbbbbbbbbbbbb")})
+}
+
+func TestClientDedup(t *testing.T) {
+	// A retried client request (same seqno) must not re-execute; the
+	// cached reply returns instead. Incr makes re-execution visible.
+	e := NewExecutor(0, kvstore.New())
+	r1 := e.Commit(types.Decision{Slot: 1, Val: req(9, 1, kvstore.Incr("n", 1))})
+	if !r1[0].Result.Equal(types.Value("1")) {
+		t.Fatalf("first incr = %q", r1[0].Result)
+	}
+	r2 := e.Commit(types.Decision{Slot: 2, Val: req(9, 1, kvstore.Incr("n", 1))})
+	if len(r2) != 1 || !r2[0].Result.Equal(types.Value("1")) {
+		t.Fatalf("retried incr = %+v (re-executed!)", r2)
+	}
+	r3 := e.Commit(types.Decision{Slot: 3, Val: req(9, 2, kvstore.Incr("n", 1))})
+	if !r3[0].Result.Equal(types.Value("2")) {
+		t.Fatalf("next incr = %q", r3[0].Result)
+	}
+}
+
+func TestNonRequestValuesApplyWithoutReply(t *testing.T) {
+	e := NewExecutor(0, kvstore.New())
+	replies := e.Commit(types.Decision{Slot: 1, Val: types.Value("raw")})
+	if len(replies) != 0 {
+		t.Fatalf("raw value produced replies: %+v", replies)
+	}
+	if e.NextSlot() != 2 {
+		t.Fatal("raw value did not advance the frontier")
+	}
+}
+
+func TestPrefixConsistencyDetectsDivergence(t *testing.T) {
+	a := NewExecutor(0, kvstore.New())
+	b := NewExecutor(1, kvstore.New())
+	a.Commit(types.Decision{Slot: 1, Val: req(1, 1, kvstore.Put("k", []byte("same")))})
+	b.Commit(types.Decision{Slot: 1, Val: req(1, 1, kvstore.Put("k", []byte("same")))})
+	if err := CheckPrefixConsistency(a, b); err != nil {
+		t.Fatalf("consistent prefixes flagged: %v", err)
+	}
+	// b applies one more slot than a — still consistent (prefix rule).
+	b.Commit(types.Decision{Slot: 2, Val: req(1, 2, kvstore.Get("k"))})
+	if err := CheckPrefixConsistency(a, b); err != nil {
+		t.Fatalf("longer prefix flagged: %v", err)
+	}
+	// Divergence is flagged.
+	c := NewExecutor(2, kvstore.New())
+	c.Commit(types.Decision{Slot: 1, Val: req(1, 1, kvstore.Put("k", []byte("DIFFERENT")))})
+	if err := CheckPrefixConsistency(a, c); err == nil {
+		t.Fatal("divergence not detected")
+	}
+}

@@ -1,0 +1,264 @@
+// Package transport hosts the protocol state machines behind real TCP.
+//
+// The simulation substrate (internal/simnet + internal/runner) is where
+// experiments run — deterministic and replayable. This package is the
+// production-shaped deployment path: the same Step/Tick/Drain node runs
+// behind a TCP listener with gob-framed messages, a wall-clock ticker,
+// and best-effort delivery (a lost connection drops messages, exactly
+// the fault model every protocol here already tolerates).
+//
+// One goroutine per inbound connection decodes messages; all access to
+// the node is serialized through a mutex, preserving the state machines'
+// single-threaded contract.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fortyconsensus/internal/types"
+)
+
+// Node is the protocol contract (mirrors runner.Node).
+type Node[M any] interface {
+	Step(M)
+	Tick()
+	Drain() []M
+}
+
+// Config wires a server.
+type Config[M any] struct {
+	// Self is this server's node ID; Addrs maps every cluster member
+	// (including Self) to a TCP address.
+	Self  types.NodeID
+	Addrs map[types.NodeID]string
+	// Dest extracts a message's destination.
+	Dest func(M) types.NodeID
+	// TickEvery converts the protocol's logical tick to wall time.
+	// Default 5ms.
+	TickEvery time.Duration
+}
+
+// Server runs one protocol node over TCP.
+type Server[M any] struct {
+	cfg  Config[M]
+	node Node[M]
+
+	ln net.Listener
+
+	mu    sync.Mutex // guards node and encoders
+	conns map[types.NodeID]*peerConn
+
+	inMu    sync.Mutex // guards inbound connection tracking
+	inbound map[net.Conn]struct{}
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	closed bool
+}
+
+type peerConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// NewServer wraps node; call Serve to start.
+func NewServer[M any](node Node[M], cfg Config[M]) (*Server[M], error) {
+	if cfg.Dest == nil {
+		return nil, errors.New("transport: Dest required")
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 5 * time.Millisecond
+	}
+	addr, ok := cfg.Addrs[cfg.Self]
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for self %v", cfg.Self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return &Server[M]{
+		cfg:     cfg,
+		node:    node,
+		ln:      ln,
+		conns:   make(map[types.NodeID]*peerConn),
+		inbound: make(map[net.Conn]struct{}),
+		stop:    make(chan struct{}),
+	}, nil
+}
+
+// Listen creates a listener on an ephemeral port and returns its
+// address, for building clusters before the full address map is known.
+func Listen() (net.Listener, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	return ln, ln.Addr().String(), nil
+}
+
+// NewServerOn is NewServer with a pre-created listener (from Listen).
+func NewServerOn[M any](node Node[M], ln net.Listener, cfg Config[M]) (*Server[M], error) {
+	if cfg.Dest == nil {
+		return nil, errors.New("transport: Dest required")
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 5 * time.Millisecond
+	}
+	return &Server[M]{
+		cfg:     cfg,
+		node:    node,
+		ln:      ln,
+		conns:   make(map[types.NodeID]*peerConn),
+		inbound: make(map[net.Conn]struct{}),
+		stop:    make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the listening address.
+func (s *Server[M]) Addr() string { return s.ln.Addr().String() }
+
+// Serve starts the accept loop and the tick loop. It returns
+// immediately; Close stops everything.
+func (s *Server[M]) Serve() {
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.tickLoop()
+}
+
+func (s *Server[M]) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.inMu.Lock()
+		s.inbound[conn] = struct{}{}
+		s.inMu.Unlock()
+		s.wg.Add(1)
+		go s.readLoop(conn)
+	}
+}
+
+func (s *Server[M]) readLoop(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.inMu.Lock()
+		delete(s.inbound, conn)
+		s.inMu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var m M
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.node.Step(m)
+		s.flushLocked()
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server[M]) tickLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.TickEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.node.Tick()
+			s.flushLocked()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Submit runs fn against the node under the server's lock — the client
+// entry point (e.g. fn calls raft.Node.Submit) — then flushes outbound
+// messages.
+func (s *Server[M]) Submit(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn()
+	s.flushLocked()
+}
+
+// Inspect runs fn with the node quiesced, for reads.
+func (s *Server[M]) Inspect(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn()
+}
+
+// flushLocked drains the node and sends each message; delivery is
+// best-effort — a dead peer's messages are dropped and its cached
+// connection discarded for re-dial on the next send.
+func (s *Server[M]) flushLocked() {
+	for _, m := range s.node.Drain() {
+		to := s.cfg.Dest(m)
+		if to == s.cfg.Self {
+			s.node.Step(m)
+			continue
+		}
+		pc, err := s.peer(to)
+		if err != nil {
+			continue
+		}
+		if err := pc.enc.Encode(&m); err != nil {
+			pc.c.Close()
+			delete(s.conns, to)
+		}
+	}
+}
+
+func (s *Server[M]) peer(id types.NodeID) (*peerConn, error) {
+	if pc, ok := s.conns[id]; ok {
+		return pc, nil
+	}
+	addr, ok := s.cfg.Addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %v", id)
+	}
+	c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	pc := &peerConn{c: c, enc: gob.NewEncoder(c)}
+	s.conns[id] = pc
+	return pc, nil
+}
+
+// Close shuts the server down and waits for its goroutines.
+func (s *Server[M]) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.stop)
+	for id, pc := range s.conns {
+		pc.c.Close()
+		delete(s.conns, id)
+	}
+	s.mu.Unlock()
+	s.inMu.Lock()
+	for c := range s.inbound {
+		c.Close()
+	}
+	s.inMu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}

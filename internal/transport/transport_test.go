@@ -1,0 +1,237 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"fortyconsensus/internal/kvstore"
+	"fortyconsensus/internal/multipaxos"
+	"fortyconsensus/internal/raft"
+	"fortyconsensus/internal/smr"
+	"fortyconsensus/internal/types"
+)
+
+// raftCluster boots n Raft nodes over real TCP on localhost.
+func raftCluster(t *testing.T, n int) ([]*Server[raft.Message], []*raft.Node) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make(map[types.NodeID]string, n)
+	peers := make([]types.NodeID, n)
+	for i := 0; i < n; i++ {
+		ln, addr, err := Listen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[types.NodeID(i)] = addr
+		peers[i] = types.NodeID(i)
+	}
+	servers := make([]*Server[raft.Message], n)
+	nodes := make([]*raft.Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = raft.New(types.NodeID(i), raft.Config{Peers: peers, Seed: uint64(i) + 900})
+		srv, err := NewServerOn(nodes[i], lns[i], Config[raft.Message]{
+			Self: types.NodeID(i), Addrs: addrs, Dest: raft.Dest,
+			TickEvery: 2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		srv.Serve()
+		t.Cleanup(srv.Close)
+	}
+	return servers, nodes
+}
+
+func waitLeaderTCP(t *testing.T, servers []*Server[raft.Message], nodes []*raft.Node, within time.Duration) int {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		for i, srv := range servers {
+			lead := false
+			srv.Inspect(func() { lead = nodes[i].IsLeader() })
+			if lead {
+				return i
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no leader over TCP")
+	return -1
+}
+
+func TestRaftOverTCP(t *testing.T) {
+	servers, nodes := raftCluster(t, 3)
+	li := waitLeaderTCP(t, servers, nodes, 5*time.Second)
+
+	// Submit real commands through the leader's server.
+	for i := 1; i <= 10; i++ {
+		req := smr.EncodeRequest(types.Request{Client: 1, SeqNo: uint64(i), Op: kvstore.Incr("n", 1).Encode()})
+		servers[li].Submit(func() { nodes[li].Submit(req) })
+	}
+
+	// Every node commits all entries (10 commands + the term no-op).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := 0
+		for i, srv := range servers {
+			var frontier types.Seq
+			srv.Inspect(func() { frontier = nodes[i].CommitFrontier() })
+			if frontier >= 11 {
+				done++
+			}
+		}
+		if done == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication over TCP stalled (%d/3 done)", done)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Logs match across the wire.
+	var logs [3][]raft.LogEntry
+	for i, srv := range servers {
+		srv.Inspect(func() { logs[i] = append([]raft.LogEntry(nil), nodes[i].Log()...) })
+	}
+	for i := 1; i < 3; i++ {
+		for j := 1; j <= 11 && j < len(logs[0]) && j < len(logs[i]); j++ {
+			if logs[0][j].Term != logs[i][j].Term || !logs[0][j].Val.Equal(logs[i][j].Val) {
+				t.Fatalf("log divergence at %d between node 0 and %d", j, i)
+			}
+		}
+	}
+}
+
+func TestRaftOverTCPLeaderKill(t *testing.T) {
+	servers, nodes := raftCluster(t, 3)
+	li := waitLeaderTCP(t, servers, nodes, 5*time.Second)
+
+	req := smr.EncodeRequest(types.Request{Client: 1, SeqNo: 1, Op: kvstore.Put("k", []byte("v")).Encode()})
+	servers[li].Submit(func() { nodes[li].Submit(req) })
+	time.Sleep(100 * time.Millisecond)
+
+	// Kill the leader's server (socket teardown = crash).
+	servers[li].Close()
+
+	// A new leader emerges among the survivors and keeps committing.
+	deadline := time.Now().Add(8 * time.Second)
+	newLead := -1
+	for time.Now().Before(deadline) && newLead < 0 {
+		for i := range servers {
+			if i == li {
+				continue
+			}
+			var lead bool
+			servers[i].Inspect(func() { lead = nodes[i].IsLeader() })
+			if lead {
+				newLead = i
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if newLead < 0 {
+		t.Fatal("no failover over TCP")
+	}
+	req2 := smr.EncodeRequest(types.Request{Client: 1, SeqNo: 2, Op: kvstore.Put("k2", []byte("v2")).Encode()})
+	servers[newLead].Submit(func() { nodes[newLead].Submit(req2) })
+
+	ok := false
+	for time.Now().Before(deadline) && !ok {
+		var frontier types.Seq
+		servers[newLead].Inspect(func() { frontier = nodes[newLead].CommitFrontier() })
+		ok = frontier >= 2
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("post-failover commit stalled over TCP")
+	}
+}
+
+func TestMultiPaxosOverTCP(t *testing.T) {
+	const n = 3
+	lns := make([]net.Listener, n)
+	addrs := make(map[types.NodeID]string, n)
+	peers := make([]types.NodeID, n)
+	for i := 0; i < n; i++ {
+		ln, addr, err := Listen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[types.NodeID(i)] = addr
+		peers[i] = types.NodeID(i)
+	}
+	servers := make([]*Server[multipaxos.Message], n)
+	nodes := make([]*multipaxos.Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = multipaxos.New(types.NodeID(i), multipaxos.Config{Peers: peers, Seed: uint64(i) + 40})
+		srv, err := NewServerOn(nodes[i], lns[i], Config[multipaxos.Message]{
+			Self: types.NodeID(i), Addrs: addrs, Dest: multipaxos.Dest,
+			TickEvery: 2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		srv.Serve()
+		t.Cleanup(srv.Close)
+	}
+
+	// Find a leader.
+	deadline := time.Now().Add(5 * time.Second)
+	li := -1
+	for time.Now().Before(deadline) && li < 0 {
+		for i := range servers {
+			var lead bool
+			servers[i].Inspect(func() { lead = nodes[i].IsLeader() })
+			if lead {
+				li = i
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if li < 0 {
+		t.Fatal("no multipaxos leader over TCP")
+	}
+	for i := 1; i <= 5; i++ {
+		req := smr.EncodeRequest(types.Request{Client: 2, SeqNo: uint64(i), Op: kvstore.Incr("x", 1).Encode()})
+		servers[li].Submit(func() { nodes[li].Submit(req) })
+	}
+	ok := false
+	for time.Now().Before(deadline) && !ok {
+		count := 0
+		for i := range servers {
+			var frontier types.Seq
+			servers[i].Inspect(func() { frontier = nodes[i].CommitFrontier() })
+			if frontier >= 5 {
+				count++
+			}
+		}
+		ok = count == n
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("multipaxos replication over TCP stalled")
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	if _, err := NewServer[raft.Message](nil, Config[raft.Message]{}); err == nil {
+		t.Fatal("missing Dest accepted")
+	}
+	if _, err := NewServer[raft.Message](nil, Config[raft.Message]{Dest: raft.Dest}); err == nil {
+		t.Fatal("missing self address accepted")
+	}
+	ln, _, err := Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServerOn[raft.Message](nil, ln, Config[raft.Message]{}); err == nil {
+		t.Fatal("missing Dest accepted on NewServerOn")
+	}
+	ln.Close()
+}

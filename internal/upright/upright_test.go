@@ -1,0 +1,161 @@
+package upright
+
+import (
+	"testing"
+
+	"fortyconsensus/internal/chaincrypto"
+	"fortyconsensus/internal/runner"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+type cluster struct {
+	*runner.Cluster[Message]
+	reps []*Replica
+	cfg  Config
+}
+
+func newCluster(m, c int, fabric *simnet.Fabric) *cluster {
+	cfg := Config{M: m, C: c}
+	rc := runner.New(runner.Config[Message]{Fabric: fabric, Dest: Dest, Src: Src, Kind: Kind})
+	cl := &cluster{Cluster: rc, cfg: cfg}
+	for i := 0; i < cfg.N(); i++ {
+		rep := NewReplica(types.NodeID(i), cfg)
+		cl.reps = append(cl.reps, rep)
+		rc.Add(types.NodeID(i), rep)
+	}
+	return cl
+}
+
+func (cl *cluster) submit(req types.Value) {
+	cl.Inject(Message{Kind: MsgRequest, From: -1, To: 0, Req: req})
+}
+
+func (cl *cluster) executedOnCorrect(seq types.Seq, faulty map[types.NodeID]bool) bool {
+	for _, rep := range cl.reps {
+		if faulty[rep.id] || cl.Crashed(rep.id) {
+			continue
+		}
+		if rep.ExecutedFrontier() < seq {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuorumArithmetic(t *testing.T) {
+	for m := 0; m <= 3; m++ {
+		for c := 0; c <= 3; c++ {
+			cfg := Config{M: m, C: c}
+			if cfg.N() != 3*m+2*c+1 || cfg.Quorum() != 2*m+c+1 {
+				t.Fatalf("m=%d c=%d: N=%d Q=%d", m, c, cfg.N(), cfg.Quorum())
+			}
+		}
+	}
+}
+
+func TestCommitNoFaults(t *testing.T) {
+	cl := newCluster(1, 1, nil) // n = 6, quorum 4
+	cl.submit(types.Value("op"))
+	if !cl.RunUntil(func() bool { return cl.executedOnCorrect(1, nil) }, 500) {
+		t.Fatal("request never committed")
+	}
+}
+
+func TestToleratesExactBudget(t *testing.T) {
+	// m=1 byzantine (silent-equivocating) + c=1 crash simultaneously:
+	// the remaining 2m+c+1 = 4 correct replicas still commit.
+	cl := newCluster(1, 1, nil)
+	faulty := map[types.NodeID]bool{3: true, 5: true}
+	cl.Crash(5) // the crash fault
+	evil := chaincrypto.Hash([]byte("evil"))
+	cl.Intercept(3, func(msg Message) []Message { // the byzantine fault
+		if msg.Kind == MsgAgree || msg.Kind == MsgCommit {
+			msg.Digest = evil
+		}
+		return []Message{msg}
+	})
+	cl.submit(types.Value("survives"))
+	if !cl.RunUntil(func() bool { return cl.executedOnCorrect(1, faulty) }, 1000) {
+		t.Fatal("m+c fault budget broke commitment")
+	}
+}
+
+func TestBeyondBudgetStalls(t *testing.T) {
+	// Crashing c+m+1 replicas (one beyond budget) leaves fewer than
+	// quorum live: no commitment. Liveness loss, not safety loss.
+	cl := newCluster(1, 1, nil) // n=6, quorum 4
+	cl.Crash(3)
+	cl.Crash(4)
+	cl.Crash(5) // 3 down, 3 live < 4
+	cl.submit(types.Value("stuck"))
+	cl.Run(500)
+	for _, rep := range cl.reps[:3] {
+		if rep.ExecutedFrontier() != 0 {
+			t.Fatal("committed without a quorum")
+		}
+	}
+}
+
+func TestDegenerateCrashOnlyMatchesPaxosSizes(t *testing.T) {
+	// m=0: n=2c+1, quorum c+1 — Paxos arithmetic.
+	cl := newCluster(0, 2, nil)
+	if len(cl.reps) != 5 || cl.cfg.Quorum() != 3 {
+		t.Fatalf("m=0 c=2: n=%d q=%d", len(cl.reps), cl.cfg.Quorum())
+	}
+	cl.Crash(3)
+	cl.Crash(4)
+	cl.submit(types.Value("crash-only"))
+	if !cl.RunUntil(func() bool { return cl.executedOnCorrect(1, nil) }, 500) {
+		t.Fatal("crash-only configuration failed under c crashes")
+	}
+}
+
+func TestDegenerateByzantineOnlyMatchesPBFTSizes(t *testing.T) {
+	// c=0: n=3m+1, quorum 2m+1 — PBFT arithmetic.
+	cl := newCluster(1, 0, nil)
+	if len(cl.reps) != 4 || cl.cfg.Quorum() != 3 {
+		t.Fatalf("m=1 c=0: n=%d q=%d", len(cl.reps), cl.cfg.Quorum())
+	}
+}
+
+func TestAgreementAcrossReplicas(t *testing.T) {
+	cl := newCluster(1, 1, nil)
+	for i := 0; i < 10; i++ {
+		cl.submit(types.Value{byte('a' + i)})
+	}
+	if !cl.RunUntil(func() bool { return cl.executedOnCorrect(10, nil) }, 2000) {
+		t.Fatal("batch never fully committed")
+	}
+	// All replicas executed identical sequences.
+	var ref []types.Decision
+	for i, rep := range cl.reps {
+		ds := rep.TakeDecisions()
+		if i == 0 {
+			ref = ds
+			continue
+		}
+		if len(ds) != len(ref) {
+			t.Fatalf("replica %d executed %d, ref %d", i, len(ds), len(ref))
+		}
+		for j := range ds {
+			if !ds[j].Val.Equal(ref[j].Val) {
+				t.Fatalf("divergence at %d", j)
+			}
+		}
+	}
+}
+
+func TestMessageComplexityQuadratic(t *testing.T) {
+	// Agree and commit are all-to-all: per-request messages grow with n².
+	msgs := func(m, c int) int {
+		cl := newCluster(m, c, nil)
+		cl.submit(types.Value("x"))
+		cl.RunUntil(func() bool { return cl.executedOnCorrect(1, nil) }, 500)
+		return cl.Stats().Sent
+	}
+	small, large := msgs(1, 0), msgs(2, 0) // n=4 vs n=7
+	if large < 2*small {
+		t.Fatalf("expected quadratic growth: n=4→%d, n=7→%d", small, large)
+	}
+}

@@ -1,0 +1,271 @@
+// Package wal implements the durable write-ahead log replicas use to
+// survive crash-restart: an append-only record stream with per-record
+// CRC-32C checksums, segment rotation, and snapshot-based truncation.
+//
+// Consensus protocols in this repository are in-memory state machines;
+// durability is layered on by journaling protocol events (accepted
+// ballots, log entries, votes) through a Log and replaying them on
+// restart. The format is deliberately simple — length-prefixed records
+// with a checksum trailer — because recovery-correctness, not I/O
+// throughput, is what the experiments exercise.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Record is one journaled event: a caller-defined type tag plus payload.
+type Record struct {
+	Type    uint8
+	Payload []byte
+}
+
+var (
+	// ErrCorrupt reports a record whose checksum or framing is invalid.
+	// Replay stops at the first corrupt record, treating the tail as an
+	// interrupted write — the standard WAL torn-write rule.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("wal: closed")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frame: u32 length | u8 type | payload | u32 crc(type+payload)
+const frameOverhead = 4 + 1 + 4
+
+// Options tunes a Log. The zero value is usable.
+type Options struct {
+	// SegmentBytes rotates to a new segment file once the active one
+	// exceeds this size. Default 4 MiB.
+	SegmentBytes int64
+	// NoSync skips fsync on append (for benchmarks that measure protocol
+	// cost rather than disk cost).
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// Log is an append-only record journal stored as numbered segment files
+// (000001.wal, 000002.wal, ...) in one directory, plus an optional
+// snapshot file that allows older segments to be pruned.
+type Log struct {
+	dir    string
+	opt    Options
+	active *os.File
+	seq    int   // active segment number
+	size   int64 // active segment size
+	closed bool
+}
+
+// Open opens (creating if needed) the log in dir.
+func Open(dir string, opt Options) (*Log, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	seq := 1
+	if len(segs) > 0 {
+		seq = segs[len(segs)-1]
+	}
+	f, err := os.OpenFile(segmentPath(dir, seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Log{dir: dir, opt: opt, active: f, seq: seq, size: st.Size()}, nil
+}
+
+func segmentPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d.wal", seq))
+}
+
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []int
+	for _, e := range ents {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "%06d.wal", &n); err == nil {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// Append journals one record, rotating segments as needed.
+func (l *Log) Append(r Record) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.size >= l.opt.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, frameOverhead+len(r.Payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(1+len(r.Payload)))
+	buf[4] = r.Type
+	copy(buf[5:], r.Payload)
+	crc := crc32.Checksum(buf[4:5+len(r.Payload)], crcTable)
+	binary.BigEndian.PutUint32(buf[5+len(r.Payload):], crc)
+	if _, err := l.active.Write(buf); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.size += int64(len(buf))
+	if !l.opt.NoSync {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return nil
+}
+
+func (l *Log) rotate() error {
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.seq++
+	f, err := os.OpenFile(segmentPath(l.dir, l.seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.active, l.size = f, 0
+	return nil
+}
+
+// Replay streams every intact record (oldest first) to fn. A corrupt or
+// torn tail record ends replay without error; any other corruption
+// returns ErrCorrupt.
+func (l *Log) Replay(fn func(Record) error) error {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if err := replaySegment(segmentPath(l.dir, seg), fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(path string, fn func(Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return nil // torn length prefix: treat as tail
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > 64<<20 {
+			return fmt.Errorf("%w: absurd record length %d", ErrCorrupt, n)
+		}
+		body := make([]byte, n+4)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return nil // torn body: tail of an interrupted append
+		}
+		want := binary.BigEndian.Uint32(body[n:])
+		if crc32.Checksum(body[:n], crcTable) != want {
+			return nil // checksum mismatch at tail
+		}
+		if err := fn(Record{Type: body[0], Payload: body[1:n]}); err != nil {
+			return err
+		}
+	}
+}
+
+// Snapshot atomically replaces the log's snapshot with payload and prunes
+// all completed segments; subsequent Replay starts from the snapshot.
+func (l *Log) Snapshot(payload []byte) error {
+	if l.closed {
+		return ErrClosed
+	}
+	tmp := filepath.Join(l.dir, "snapshot.tmp")
+	if err := os.WriteFile(tmp, payload, 0o644); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, "snapshot")); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	// Prune everything before the active segment and restart it: the
+	// snapshot now subsumes them.
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if seg != l.seq {
+			if err := os.Remove(segmentPath(l.dir, seg)); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+		}
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Remove(segmentPath(l.dir, l.seq)); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	f, err := os.OpenFile(segmentPath(l.dir, l.seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.active, l.size = f, 0
+	return nil
+}
+
+// LoadSnapshot returns the current snapshot payload, or nil if none.
+func (l *Log) LoadSnapshot() ([]byte, error) {
+	b, err := os.ReadFile(filepath.Join(l.dir, "snapshot"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return b, nil
+}
+
+// Close flushes and closes the active segment.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.active.Sync(); err != nil {
+		l.active.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.active.Close()
+}

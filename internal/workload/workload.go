@@ -1,0 +1,157 @@
+// Package workload generates the client request streams driving the
+// experiments: key-value operations over uniform or Zipfian key
+// distributions (the standard skewed access pattern for data management
+// benchmarks) and a bank-transfer workload for the atomic-commitment
+// experiments.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"fortyconsensus/internal/kvstore"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+// KeyDist selects keys for generated operations.
+type KeyDist interface {
+	// Next returns a key index in [0, Keys).
+	Next() int
+	// Keys returns the key-space size.
+	Keys() int
+}
+
+// Uniform picks keys uniformly at random.
+type Uniform struct {
+	N   int
+	RNG *simnet.RNG
+}
+
+func (u *Uniform) Next() int { return u.RNG.Intn(u.N) }
+func (u *Uniform) Keys() int { return u.N }
+
+// Zipf picks keys with Zipfian skew s over N keys using inverse-CDF
+// sampling on a precomputed table; s≈0.99 is the YCSB default.
+type Zipf struct {
+	n   int
+	cdf []float64
+	rng *simnet.RNG
+}
+
+// NewZipf builds a Zipfian distribution over n keys with exponent s.
+func NewZipf(n int, s float64, rng *simnet.RNG) *Zipf {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{n: n, cdf: cdf, rng: rng}
+}
+
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (z *Zipf) Keys() int { return z.n }
+
+// KV generates kvstore commands with a configurable read fraction.
+type KV struct {
+	Dist      KeyDist
+	ReadFrac  float64 // fraction of GETs; remainder are PUTs
+	ValueSize int     // bytes per written value
+	rng       *simnet.RNG
+	client    types.ClientID
+	seq       uint64
+}
+
+// NewKV builds a generator for one client.
+func NewKV(client types.ClientID, dist KeyDist, readFrac float64, valueSize int, rng *simnet.RNG) *KV {
+	if valueSize <= 0 {
+		valueSize = 16
+	}
+	return &KV{Dist: dist, ReadFrac: readFrac, ValueSize: valueSize, rng: rng, client: client}
+}
+
+// Next produces the next client request.
+func (g *KV) Next() types.Request {
+	g.seq++
+	key := fmt.Sprintf("key-%06d", g.Dist.Next())
+	var cmd kvstore.Command
+	if g.rng.Bool(g.ReadFrac) {
+		cmd = kvstore.Get(key)
+	} else {
+		val := make([]byte, g.ValueSize)
+		for i := range val {
+			val[i] = byte('a' + g.rng.Intn(26))
+		}
+		cmd = kvstore.Put(key, val)
+	}
+	return types.Request{Client: g.client, SeqNo: g.seq, Op: cmd.Encode()}
+}
+
+// Issued returns how many requests the generator has produced.
+func (g *KV) Issued() uint64 { return g.seq }
+
+// Transfer is one bank transfer between two accounts, possibly on
+// different shards — the Spanner-style 2PC workload.
+type Transfer struct {
+	From, To   int // account indices
+	Amount     int64
+	FromShard  int
+	ToShard    int
+	CrossShard bool
+}
+
+// Bank generates transfers over accounts partitioned across shards by
+// account % shards.
+type Bank struct {
+	Accounts int
+	Shards   int
+	rng      *simnet.RNG
+}
+
+// NewBank builds a transfer generator.
+func NewBank(accounts, shards int, rng *simnet.RNG) *Bank {
+	if accounts < 2 {
+		accounts = 2
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return &Bank{Accounts: accounts, Shards: shards, rng: rng}
+}
+
+// Next produces a transfer between two distinct accounts.
+func (b *Bank) Next() Transfer {
+	from := b.rng.Intn(b.Accounts)
+	to := b.rng.Intn(b.Accounts - 1)
+	if to >= from {
+		to++
+	}
+	t := Transfer{
+		From: from, To: to,
+		Amount:    int64(1 + b.rng.Intn(100)),
+		FromShard: from % b.Shards,
+		ToShard:   to % b.Shards,
+	}
+	t.CrossShard = t.FromShard != t.ToShard
+	return t
+}
+
+// AccountKey names the kvstore key holding an account balance.
+func AccountKey(account int) string { return fmt.Sprintf("acct-%06d", account) }

@@ -1,0 +1,85 @@
+package zyzzyva
+
+import (
+	"fortyconsensus/internal/runner"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+// nodeAdapter lets Replica and Client share one runner cluster.
+type nodeAdapter interface {
+	Step(Message)
+	Tick()
+	Drain() []Message
+}
+
+// Cluster bundles 3f+1 Zyzzyva replicas plus clients.
+type Cluster struct {
+	*runner.Cluster[Message]
+	Replicas []*Replica
+	Clients  []*Client
+	F        int
+}
+
+// NewCluster builds a 3f+1 replica cluster with the given client count.
+// Client node IDs start at 3f+1.
+func NewCluster(f, clients int, fabric *simnet.Fabric, cfg Config) *Cluster {
+	n := 3*f + 1
+	cfg.N, cfg.F = n, f
+	rc := runner.New(runner.Config[Message]{Fabric: fabric, Dest: Dest, Src: Src, Kind: Kind})
+	c := &Cluster{Cluster: rc, F: f}
+	for i := 0; i < n; i++ {
+		rep := NewReplica(types.NodeID(i), cfg)
+		c.Replicas = append(c.Replicas, rep)
+		rc.Add(types.NodeID(i), rep)
+	}
+	for i := 0; i < clients; i++ {
+		cl := NewClient(types.NodeID(n+i), cfg)
+		c.Clients = append(c.Clients, cl)
+		rc.Add(types.NodeID(n+i), cl)
+	}
+	return c
+}
+
+// SpecAgreement verifies that all correct replicas' speculative logs
+// agree on every slot both hold up to the lower committed frontier, and
+// that histories are prefix-consistent (same seq ⇒ same history digest
+// implies same log). byzantine lists replicas to skip.
+func (c *Cluster) SpecAgreement(byzantine ...types.NodeID) error {
+	skip := map[types.NodeID]bool{}
+	for _, b := range byzantine {
+		skip[b] = true
+	}
+	var reps []*Replica
+	for _, r := range c.Replicas {
+		if !skip[r.id] {
+			reps = append(reps, r)
+		}
+	}
+	for i := 0; i < len(reps); i++ {
+		for j := i + 1; j < len(reps); j++ {
+			a, b := reps[i], reps[j]
+			lim := a.committed
+			if b.committed < lim {
+				lim = b.committed
+			}
+			for s := types.Seq(1); s <= lim; s++ {
+				av, aok := a.log[s]
+				bv, bok := b.log[s]
+				if aok && bok && !av.Equal(bv) {
+					return &divergence{a.id, b.id, s}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type divergence struct {
+	a, b types.NodeID
+	slot types.Seq
+}
+
+func (d *divergence) Error() string {
+	return "zyzzyva: committed logs diverge at slot " + d.slot.String() + " between " + d.a.String() + " and " + d.b.String()
+}
