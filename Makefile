@@ -1,0 +1,31 @@
+# Standard-library-only Go module; every target is offline.
+GO ?= go
+
+# The packages whose event loops and experiment harness run goroutines;
+# test-race covers them specifically so the race detector's cost stays
+# proportionate.
+RACE_PKGS := ./internal/runner ./internal/simnet ./internal/experiments
+
+.PHONY: all build test test-race bench golden
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Micro-benchmarks for the simulation hot path (runner event loop,
+# SHA256d mining substrate, PoW mining loop).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/runner ./internal/chaincrypto ./internal/pow
+
+# Re-record the experiment golden artifacts after an intentional
+# output change. Review the diff before committing.
+golden:
+	$(GO) test ./internal/experiments -run TestGoldenArtifacts -update -count=1

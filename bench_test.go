@@ -25,7 +25,7 @@ func benchExperiment(b *testing.B, id string) {
 		}
 		artifact = r.Artifact
 	}
-	if testing.Verbose() || true {
+	if testing.Verbose() {
 		b.Log("\n" + artifact)
 	}
 }

@@ -54,3 +54,30 @@ func BenchmarkMerkleRoot(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDoubleHash84 is the naive mining attempt: SHA256d over a
+// full 84-byte header equivalent (three compressions for hash one).
+func BenchmarkDoubleHash84(b *testing.B) {
+	msg := make([]byte, 84)
+	for i := 0; i < b.N; i++ {
+		msg[80] = byte(i)
+		if DoubleHash(msg).IsZero() {
+			b.Fatal("zero digest")
+		}
+	}
+}
+
+// BenchmarkSHA256dMidstate is the mining attempt the PoW experiments
+// actually pay: constant 64-byte prefix cached, 20-byte tail varying.
+func BenchmarkSHA256dMidstate(b *testing.B) {
+	msg := make([]byte, 84)
+	ms := NewSHA256dMidstate(msg[:64])
+	tail := msg[64:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tail[16] = byte(i)
+		if ms.SumDouble(tail).IsZero() {
+			b.Fatal("zero digest")
+		}
+	}
+}

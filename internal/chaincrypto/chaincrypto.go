@@ -16,9 +16,11 @@ import (
 	"crypto/ed25519"
 	"crypto/hmac"
 	"crypto/sha256"
+	"encoding"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"sort"
 
 	"fortyconsensus/internal/types"
@@ -35,6 +37,12 @@ func (d Digest) IsZero() bool { return d == Digest{} }
 
 // Hash returns the SHA-256 digest of the concatenation of parts.
 func Hash(parts ...[]byte) Digest {
+	if len(parts) == 1 {
+		// Fast path: sha256.Sum256 runs on the stack, with no digest
+		// or sum allocation. Mining loops hash millions of single-part
+		// headers, so this path carries the PoW experiments.
+		return sha256.Sum256(parts[0])
+	}
 	h := sha256.New()
 	for _, p := range parts {
 		h.Write(p)
@@ -53,8 +61,134 @@ func HashUint64(v uint64) []byte {
 
 // DoubleHash is Bitcoin's SHA256d.
 func DoubleHash(parts ...[]byte) Digest {
+	if len(parts) == 1 {
+		first := sha256.Sum256(parts[0])
+		return sha256.Sum256(first[:])
+	}
 	first := Hash(parts...)
 	return Hash(first[:])
+}
+
+// SHA256dMidstate caches the SHA-256 compression state over a constant
+// message prefix so that repeated SHA256d computations sharing that
+// prefix skip its compression rounds. This is the classic Bitcoin-miner
+// midstate trick: a block header's first 64 bytes (version, previous
+// hash, most of the merkle root) are fixed per work unit while only the
+// tail (timestamp, bits, nonce) varies per attempt, so each attempt
+// costs two compressions instead of three. SumDouble allocates nothing,
+// which matters at millions of attempts per simulated experiment.
+//
+// The prefix should be a multiple of 64 bytes for the cache to help;
+// any length is correct. Not safe for concurrent use.
+type SHA256dMidstate struct {
+	state  []byte // marshaled digest state after absorbing the prefix
+	h      hash.Hash
+	unm    encoding.BinaryUnmarshaler
+	sumbuf [sha256.Size]byte // scratch for the first hash's output
+
+	// Pre-padded-block fast path. When the prefix is block-aligned and
+	// the tail fits one padded block, each hash is fed a complete final
+	// block (message ‖ 0x80 ‖ zeros ‖ bit length) so the digest
+	// compresses it in place, and the output is read straight from the
+	// marshaled state words — skipping Sum's state copy and checkSum's
+	// padding pass on both hashes. The layout assumptions (a full-block
+	// Write compresses immediately; the marshaled form is
+	// magic ‖ state words ‖ buffer ‖ length, with the big-endian state
+	// words at bytes 4..36 equal to the digest) are verified against the
+	// portable path in the constructor, which disables this path on any
+	// mismatch.
+	fastOK    bool
+	app       encoding.BinaryAppender
+	scratch   []byte   // marshaled-state buffer reused across attempts
+	block1    [64]byte // final block of hash one: tail + padding
+	block2    [64]byte // only block of hash two: digest one + padding
+	prefixLen uint64
+	tailLen   int // tail length block1's padding encodes; -1 = unset
+}
+
+// marshaled sha256 digest layout: magic(4) ‖ h[8]·4 ‖ x[64] ‖ len(8).
+const (
+	sha256StateLo   = 4
+	sha256StateHi   = 36
+	sha256StateSize = 108
+)
+
+// NewSHA256dMidstate absorbs prefix and captures the resulting state.
+func NewSHA256dMidstate(prefix []byte) *SHA256dMidstate {
+	h := sha256.New()
+	h.Write(prefix)
+	state, err := h.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		// The standard library digest cannot fail to marshal.
+		panic("chaincrypto: sha256 midstate marshal: " + err.Error())
+	}
+	fresh := sha256.New()
+	ms := &SHA256dMidstate{
+		state:     state,
+		h:         fresh,
+		unm:       fresh.(encoding.BinaryUnmarshaler),
+		prefixLen: uint64(len(prefix)),
+		tailLen:   -1,
+	}
+	if app, ok := fresh.(encoding.BinaryAppender); ok && len(prefix)%sha256.BlockSize == 0 && len(state) == sha256StateSize {
+		ms.app = app
+		ms.scratch = make([]byte, 0, sha256StateSize)
+		ms.block2[sha256.Size] = 0x80
+		binary.BigEndian.PutUint64(ms.block2[56:], sha256.Size*8)
+		ms.fastOK = true
+		// Self-check against the portable path; a probe long enough to
+		// exercise the padding boundaries.
+		probe := []byte("midstate-fast-path-self-check")
+		want := DoubleHash(append(append([]byte{}, prefix...), probe...))
+		if ms.sumDoubleFast(probe) != want {
+			ms.fastOK = false
+			ms.tailLen = -1
+		}
+	}
+	return ms
+}
+
+// SumDouble returns SHA256d(prefix || tail).
+func (ms *SHA256dMidstate) SumDouble(tail []byte) Digest {
+	if ms.fastOK && len(tail) < sha256.BlockSize-8 {
+		return ms.sumDoubleFast(tail)
+	}
+	if err := ms.unm.UnmarshalBinary(ms.state); err != nil {
+		panic("chaincrypto: sha256 midstate restore: " + err.Error())
+	}
+	ms.h.Write(tail)
+	first := ms.h.Sum(ms.sumbuf[:0])
+	return sha256.Sum256(first)
+}
+
+// sumDoubleFast is SumDouble via pre-padded blocks: two compressions and
+// no digest finalization bookkeeping. Requires fastOK and a tail short
+// enough that message-end padding fits its final block.
+func (ms *SHA256dMidstate) sumDoubleFast(tail []byte) Digest {
+	if len(tail) != ms.tailLen {
+		// (Re)write block one's padding for this tail length. Across a
+		// mining run the tail length is fixed, so this runs once.
+		ms.tailLen = len(tail)
+		for i := ms.tailLen; i < 56; i++ {
+			ms.block1[i] = 0
+		}
+		ms.block1[ms.tailLen] = 0x80
+		binary.BigEndian.PutUint64(ms.block1[56:], (ms.prefixLen+uint64(ms.tailLen))*8)
+	}
+	copy(ms.block1[:ms.tailLen], tail)
+	if err := ms.unm.UnmarshalBinary(ms.state); err != nil {
+		panic("chaincrypto: sha256 midstate restore: " + err.Error())
+	}
+	ms.h.Write(ms.block1[:])
+	b, _ := ms.app.AppendBinary(ms.scratch[:0])
+	copy(ms.block2[:sha256.Size], b[sha256StateLo:sha256StateHi])
+	ms.h.Reset()
+	ms.h.Write(ms.block2[:])
+	b, _ = ms.app.AppendBinary(b[:0])
+	ms.scratch = b
+	var d Digest
+	copy(d[:], b[sha256StateLo:sha256StateHi])
+	return d
 }
 
 // ---------------------------------------------------------------------------

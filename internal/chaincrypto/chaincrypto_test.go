@@ -207,3 +207,37 @@ func TestMerkleProofProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSHA256dMidstateMatchesDoubleHash(t *testing.T) {
+	mkbytes := func(n int, fill byte) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = fill + byte(i)
+		}
+		return b
+	}
+	// Prefix lengths cover the fast path (block-aligned) and the
+	// portable fallback; tail lengths cover both sides of the
+	// one-padded-block boundary (55 fits, 56 does not).
+	for _, plen := range []int{0, 13, 64, 100, 128} {
+		prefix := mkbytes(plen, 3)
+		ms := NewSHA256dMidstate(prefix)
+		for _, tlen := range []int{0, 1, 20, 55, 56, 64, 100} {
+			tail := mkbytes(tlen, 0x40)
+			want := DoubleHash(append(append([]byte{}, prefix...), tail...))
+			if got := ms.SumDouble(tail); got != want {
+				t.Fatalf("prefix %d tail %d: SumDouble %x want %x", plen, tlen, got, want)
+			}
+		}
+		// Re-summing with a mutated tail must reflect the new bytes
+		// (the cached padding and state restore are per-attempt).
+		tail := mkbytes(20, 0x77)
+		for i := 0; i < 3; i++ {
+			tail[i] = byte(0xA0 + i)
+			want := DoubleHash(append(append([]byte{}, prefix...), tail...))
+			if got := ms.SumDouble(tail); got != want {
+				t.Fatalf("prefix %d mutation %d: SumDouble mismatch", plen, i)
+			}
+		}
+	}
+}

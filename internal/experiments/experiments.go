@@ -7,8 +7,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	// The commitment protocols register their C&C profiles on import;
 	// F10/F11 reference them even though their agreement cores are
@@ -37,7 +39,8 @@ func register(id string, r Runner) {
 	order = append(order, id)
 }
 
-// IDs returns every experiment ID in registration order.
+// IDs returns every experiment ID, sorted lexically (not in
+// registration order, which varies with package init sequence).
 func IDs() []string {
 	out := make([]string, len(order))
 	copy(out, order)
@@ -54,12 +57,40 @@ func Run(id string) (Result, error) {
 	return r(), nil
 }
 
-// RunAll executes every experiment in ID order.
+// RunAll executes every experiment and returns results in ID order.
+//
+// Experiments are independent, seeded simulations, so they run
+// concurrently on a GOMAXPROCS-bounded worker pool; each experiment's
+// artifact is identical to a sequential run's. The registry is
+// read-only after package init, so workers share it without locking.
 func RunAll() []Result {
 	ids := IDs()
-	out := make([]Result, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, registry[id]())
+	out := make([]Result, len(ids))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ids) {
+		workers = len(ids)
 	}
+	if workers <= 1 {
+		for i, id := range ids {
+			out[i] = registry[id]()
+		}
+		return out
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i] = registry[ids[i]]()
+			}
+		}()
+	}
+	for i := range ids {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
 	return out
 }

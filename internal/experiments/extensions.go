@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"sync"
+
 	"fortyconsensus/internal/hotstuff"
 	"fortyconsensus/internal/metrics"
 	"fortyconsensus/internal/minbft"
@@ -27,41 +29,57 @@ func X1SelfishMining() Result {
 		"attacker hash share", "revenue share", "amplified?")
 	p := pow.DefaultParams()
 	p.RetargetInterval = 1 << 30 // freeze difficulty
-	for _, att := range []int{64, 200, 400} {
-		const honestEach, honestCount = 128, 4
-		peers := make([]types.NodeID, honestCount+1)
-		for i := range peers {
-			peers[i] = types.NodeID(i)
-		}
-		fab := simnet.NewFabric(simnet.Options{Seed: 11})
-		rc := runner.New(runner.Config[pow.Message]{Fabric: fab, Dest: pow.Dest, Src: pow.Src, Kind: pow.Kind})
-		honest := make([]*pow.Miner, honestCount)
-		for i := 0; i < honestCount; i++ {
-			honest[i] = pow.NewMiner(types.NodeID(i), pow.MinerConfig{
-				Params: p, Peers: peers, HashPerTick: honestEach, Seed: 11 + uint64(i)*13,
-			})
-			rc.Add(types.NodeID(i), honest[i])
-		}
-		rc.Add(types.NodeID(honestCount), pow.NewSelfishMiner(types.NodeID(honestCount), pow.MinerConfig{
-			Params: p, Peers: peers, HashPerTick: att, Seed: 999,
-		}))
-		rc.RunUntil(func() bool { return honest[0].Chain().Height() >= 60 }, 2_000_000)
-		rc.Run(20)
-		shares := honest[0].RewardShare()
-		total := 0
-		for _, v := range shares {
-			total += v
-		}
-		hashShare := float64(att) / float64(att+honestCount*honestEach)
-		revShare := 0.0
-		if total > 0 {
-			revShare = float64(shares[honestCount]) / float64(total)
-		}
+
+	// The three attacker budgets are independent seeded clusters; run
+	// them concurrently and render rows in budget order so the table is
+	// identical to a sequential run.
+	atts := []int{64, 200, 400}
+	type attackRun struct {
+		hashShare, revShare float64
+	}
+	runs := make([]attackRun, len(atts))
+	var wg sync.WaitGroup
+	for i, att := range atts {
+		wg.Add(1)
+		go func(i, att int) {
+			defer wg.Done()
+			const honestEach, honestCount = 128, 4
+			peers := make([]types.NodeID, honestCount+1)
+			for j := range peers {
+				peers[j] = types.NodeID(j)
+			}
+			fab := simnet.NewFabric(simnet.Options{Seed: 11})
+			rc := runner.New(runner.Config[pow.Message]{Fabric: fab, Dest: pow.Dest, Src: pow.Src, Kind: pow.Kind})
+			honest := make([]*pow.Miner, honestCount)
+			for j := 0; j < honestCount; j++ {
+				honest[j] = pow.NewMiner(types.NodeID(j), pow.MinerConfig{
+					Params: p, Peers: peers, HashPerTick: honestEach, Seed: 11 + uint64(j)*13,
+				})
+				rc.Add(types.NodeID(j), honest[j])
+			}
+			rc.Add(types.NodeID(honestCount), pow.NewSelfishMiner(types.NodeID(honestCount), pow.MinerConfig{
+				Params: p, Peers: peers, HashPerTick: att, Seed: 999,
+			}))
+			rc.RunUntil(func() bool { return honest[0].Chain().Height() >= 60 }, 2_000_000)
+			rc.Run(20)
+			shares := honest[0].RewardShare()
+			total := 0
+			for _, v := range shares {
+				total += v
+			}
+			runs[i].hashShare = float64(att) / float64(att+honestCount*honestEach)
+			if total > 0 {
+				runs[i].revShare = float64(shares[honestCount]) / float64(total)
+			}
+		}(i, att)
+	}
+	wg.Wait()
+	for _, r := range runs {
 		amp := "no"
-		if revShare > hashShare {
+		if r.revShare > r.hashShare {
 			amp = "YES"
 		}
-		t.AddRowf(hashShare, revShare, amp)
+		t.AddRowf(r.hashShare, r.revShare, amp)
 	}
 	return Result{ID: "X1", Caption: "Withholding pays above ~1/3 of the hash rate", Artifact: t.String()}
 }

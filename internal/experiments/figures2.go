@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"fortyconsensus/internal/cheapbft"
 	"fortyconsensus/internal/kvstore"
@@ -33,25 +34,39 @@ func F7PoWForks() Result {
 	// target: 65536 expected hashes ÷ 4·1024 hashes/tick) is comparable
 	// to the propagation delays probed — the regime where forks happen.
 	const hashPerTick = 1024
-	for _, delay := range []int{1, 4, 10, 20} {
-		fab := simnet.NewFabric(simnet.Options{MinDelay: delay, MaxDelay: delay + 2, Seed: 7})
-		rc := runner.New(runner.Config[pow.Message]{Fabric: fab, Dest: pow.Dest, Src: pow.Src, Kind: pow.Kind})
-		peers := []types.NodeID{0, 1, 2, 3}
-		miners := make([]*pow.Miner, 4)
-		for i := range miners {
-			miners[i] = pow.NewMiner(types.NodeID(i), pow.MinerConfig{
-				Params: p, Peers: peers, HashPerTick: hashPerTick, Seed: uint64(i) * 991,
-			})
-			rc.Add(types.NodeID(i), miners[i])
-		}
-		rc.RunUntil(func() bool { return miners[0].Chain().Height() >= 40 }, 120000)
-		stale := 0
-		for _, m := range miners {
-			stale += m.Chain().StaleBlocks()
-		}
-		fig.Series("stale-blocks(total)").Add(float64(delay), float64(stale))
-		_, h, _ := miners[0].Chain().Tip()
-		fig.Series("best-height").Add(float64(delay), float64(h))
+
+	// Each propagation-delay probe and the retarget run below is its
+	// own seeded cluster, so they execute concurrently; the figures are
+	// assembled in probe order afterwards, keeping the artifact
+	// identical to a sequential run.
+	delays := []int{1, 4, 10, 20}
+	type forkProbe struct {
+		stale  int
+		height uint64
+	}
+	probes := make([]forkProbe, len(delays))
+	var wg sync.WaitGroup
+	for i, delay := range delays {
+		wg.Add(1)
+		go func(i, delay int) {
+			defer wg.Done()
+			fab := simnet.NewFabric(simnet.Options{MinDelay: delay, MaxDelay: delay + 2, Seed: 7})
+			rc := runner.New(runner.Config[pow.Message]{Fabric: fab, Dest: pow.Dest, Src: pow.Src, Kind: pow.Kind})
+			peers := []types.NodeID{0, 1, 2, 3}
+			miners := make([]*pow.Miner, 4)
+			for j := range miners {
+				miners[j] = pow.NewMiner(types.NodeID(j), pow.MinerConfig{
+					Params: p, Peers: peers, HashPerTick: hashPerTick, Seed: uint64(j) * 991,
+				})
+				rc.Add(types.NodeID(j), miners[j])
+			}
+			rc.RunUntil(func() bool { return miners[0].Chain().Height() >= 40 }, 120000)
+			for _, m := range miners {
+				probes[i].stale += m.Chain().StaleBlocks()
+			}
+			_, h, _ := miners[0].Chain().Tip()
+			probes[i].height = h
+		}(i, delay)
 	}
 
 	// F7b: retarget convergence — the network starts at equilibrium
@@ -59,8 +74,11 @@ func F7PoWForks() Result {
 	// second equal miner joins after interval 2 (hash power doubles,
 	// spacing halves), and the retarget rule tightens difficulty until
 	// spacing returns toward target.
-	fig2 := metrics.NewFigure("F7b — difficulty retarget: avg block spacing per interval (hash power doubles after interval 2)", "interval")
-	{
+	const retargetIntervals = 6
+	spacings := make([]float64, retargetIntervals)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
 		// 65536 expected hashes per block ÷ 20-tick target ≈ 3277/tick.
 		const equilibrium = 3277
 		rc := runner.New(runner.Config[pow.Message]{Dest: pow.Dest, Src: pow.Src, Kind: pow.Kind})
@@ -69,13 +87,11 @@ func F7PoWForks() Result {
 		interval := p.RetargetInterval
 		lastHeight, lastTick := uint64(0), 0
 		boosted := false
-		for iv := 1; iv <= 6; iv++ {
+		for iv := 1; iv <= retargetIntervals; iv++ {
 			target := uint64(iv * interval)
 			rc.RunUntil(func() bool { return m.Chain().Height() >= target }, 400000)
 			h := m.Chain().Height()
-			spacing := float64(rc.Now()-lastTick) / float64(h-lastHeight)
-			fig2.Series("avg-spacing(ticks)").Add(float64(iv), spacing)
-			fig2.Series("target").Add(float64(iv), float64(p.TargetSpacing))
+			spacings[iv-1] = float64(rc.Now()-lastTick) / float64(h-lastHeight)
 			lastHeight, lastTick = h, rc.Now()
 			if iv == 2 && !boosted {
 				boosted = true
@@ -88,6 +104,17 @@ func F7PoWForks() Result {
 				rc.Add(1, m2)
 			}
 		}
+	}()
+	wg.Wait()
+
+	for i, delay := range delays {
+		fig.Series("stale-blocks(total)").Add(float64(delay), float64(probes[i].stale))
+		fig.Series("best-height").Add(float64(delay), float64(probes[i].height))
+	}
+	fig2 := metrics.NewFigure("F7b — difficulty retarget: avg block spacing per interval (hash power doubles after interval 2)", "interval")
+	for iv := 1; iv <= retargetIntervals; iv++ {
+		fig2.Series("avg-spacing(ticks)").Add(float64(iv), spacings[iv-1])
+		fig2.Series("target").Add(float64(iv), float64(p.TargetSpacing))
 	}
 	return Result{ID: "F7", Caption: "PoW forks and difficulty adjustment", Artifact: fig.String() + "\n" + fig2.String()}
 }

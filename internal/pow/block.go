@@ -61,21 +61,73 @@ type Header struct {
 	Nonce      uint32
 }
 
-// Encode serializes the header for hashing (80 bytes, like Bitcoin).
+// headerLen is the serialized header size: Bitcoin's layout with a
+// 64-bit timestamp (simulation ticks), so 84 bytes instead of 80.
+const headerLen = 84
+
+// encodeInto serializes the header into a fixed-size buffer. The mining
+// loop hashes one encoded header per attempt, so this path must not
+// allocate.
+func (h *Header) encodeInto(buf *[headerLen]byte) {
+	binary.LittleEndian.PutUint32(buf[0:4], h.Version)
+	copy(buf[4:36], h.PrevHash[:])
+	copy(buf[36:68], h.MerkleRoot[:])
+	binary.LittleEndian.PutUint64(buf[68:76], h.Timestamp)
+	binary.LittleEndian.PutUint32(buf[76:80], h.Bits)
+	binary.LittleEndian.PutUint32(buf[80:84], h.Nonce)
+}
+
+// Encode serializes the header for hashing (Bitcoin's layout, with a
+// 64-bit timestamp).
 func (h Header) Encode() []byte {
-	buf := make([]byte, 0, 80)
-	buf = binary.LittleEndian.AppendUint32(buf, h.Version)
-	buf = append(buf, h.PrevHash[:]...)
-	buf = append(buf, h.MerkleRoot[:]...)
-	buf = binary.LittleEndian.AppendUint64(buf, h.Timestamp)
-	buf = binary.LittleEndian.AppendUint32(buf, h.Bits)
-	buf = binary.LittleEndian.AppendUint32(buf, h.Nonce)
-	return buf
+	var buf [headerLen]byte
+	h.encodeInto(&buf)
+	return buf[:]
 }
 
 // Hash returns the header's SHA256d digest.
 func (h Header) Hash() chaincrypto.Digest {
-	return chaincrypto.DoubleHash(h.Encode())
+	var buf [headerLen]byte
+	h.encodeInto(&buf)
+	return chaincrypto.DoubleHash(buf[:])
+}
+
+// workHasher is the per-work-unit mining state shared by Miner and
+// SelfishMiner: a SHA-256 midstate over the constant first 64 header
+// bytes plus the expanded target, so each attempt costs two SHA-256
+// compressions and zero allocations. It produces digests identical to
+// Header.Hash — only the constant prefix's compression is cached.
+type workHasher struct {
+	mid    *chaincrypto.SHA256dMidstate
+	tail   [headerLen - 64]byte // merkle[28:], timestamp, bits, nonce
+	target [32]byte
+}
+
+// newWorkHasher captures the constant parts of h and the target. The
+// header's timestamp and nonce may change per attempt; everything in the
+// first 64 bytes (version, prev hash, merkle[:28]) must stay fixed.
+func newWorkHasher(h *Header, target *big.Int) *workHasher {
+	var buf [headerLen]byte
+	h.encodeInto(&buf)
+	w := &workHasher{mid: chaincrypto.NewSHA256dMidstate(buf[:64])}
+	copy(w.tail[:], buf[64:])
+	if target.Sign() > 0 && target.BitLen() > 256 {
+		for i := range w.target {
+			w.target[i] = 0xFF // every hash meets an oversized target
+		}
+	} else if target.Sign() > 0 {
+		target.FillBytes(w.target[:])
+	}
+	return w
+}
+
+// attempt hashes the work unit's header at (timestamp, nonce) and
+// reports whether the digest meets the target.
+func (w *workHasher) attempt(timestamp uint64, nonce uint32) bool {
+	binary.LittleEndian.PutUint64(w.tail[4:12], timestamp)
+	binary.LittleEndian.PutUint32(w.tail[16:20], nonce)
+	d := w.mid.SumDouble(w.tail[:])
+	return bytes.Compare(d[:], w.target[:]) <= 0
 }
 
 // Block is a header plus its transactions.
@@ -129,10 +181,19 @@ func TargetToCompact(target *big.Int) uint32 {
 }
 
 // HashMeetsTarget reports whether digest interpreted as a big-endian
-// integer is at or below the target.
+// integer is at or below the target. The comparison runs byte-wise
+// against the target's fixed-width encoding so the per-attempt check
+// allocates nothing.
 func HashMeetsTarget(d chaincrypto.Digest, target *big.Int) bool {
-	v := new(big.Int).SetBytes(d[:])
-	return v.Cmp(target) <= 0
+	if target.Sign() < 0 {
+		return false
+	}
+	if target.BitLen() > 256 {
+		return true // every 256-bit hash is below the target
+	}
+	var tb [32]byte
+	target.FillBytes(tb[:])
+	return bytes.Compare(d[:], tb[:]) <= 0
 }
 
 // Work returns the expected number of hash attempts a block at the given

@@ -71,6 +71,7 @@ type Miner struct {
 	// Mining state: the block being worked on and the next nonce.
 	work       *Block
 	workTarget *big.Int
+	hasher     *workHasher
 	nonce      uint32
 
 	mined int // blocks this miner found
@@ -213,6 +214,7 @@ func (m *Miner) buildWork() {
 	b.Header.MerkleRoot = b.MerkleRoot()
 	m.work = b
 	m.workTarget = CompactToTarget(bits)
+	m.hasher = newWorkHasher(&b.Header, m.workTarget)
 	m.nonce = uint32(m.rng.Uint64())
 }
 
@@ -225,9 +227,10 @@ func (m *Miner) Tick() {
 	}
 	m.work.Header.Timestamp = m.now
 	for i := 0; i < m.cfg.HashPerTick; i++ {
-		m.work.Header.Nonce = m.nonce
+		nonce := m.nonce
 		m.nonce++
-		if HashMeetsTarget(m.work.Header.Hash(), m.workTarget) {
+		if m.hasher.attempt(m.now, nonce) {
+			m.work.Header.Nonce = nonce
 			m.foundBlock()
 			return
 		}

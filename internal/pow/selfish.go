@@ -35,6 +35,7 @@ type SelfishMiner struct {
 
 	work       *Block
 	workTarget *big.Int
+	hasher     *workHasher
 	nonce      uint32
 	mined      int
 
@@ -166,9 +167,10 @@ func (s *SelfishMiner) Tick() {
 	}
 	s.work.Header.Timestamp = s.now
 	for i := 0; i < s.cfg.HashPerTick; i++ {
-		s.work.Header.Nonce = s.nonce
+		nonce := s.nonce
 		s.nonce++
-		if HashMeetsTarget(s.work.Header.Hash(), s.workTarget) {
+		if s.hasher.attempt(s.now, nonce) {
+			s.work.Header.Nonce = nonce
 			b := s.work
 			s.work = nil
 			s.mined++
@@ -193,6 +195,7 @@ func (s *SelfishMiner) buildWork() {
 	b.Header.MerkleRoot = b.MerkleRoot()
 	s.work = b
 	s.workTarget = CompactToTarget(bits)
+	s.hasher = newWorkHasher(&b.Header, s.workTarget)
 	s.nonce = uint32(s.rng.Uint64())
 }
 

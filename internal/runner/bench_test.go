@@ -1,0 +1,99 @@
+package runner
+
+import (
+	"testing"
+
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+// chatterNode sends one message to every peer on each Tick and absorbs
+// everything it receives — a dense steady-state load with no protocol
+// logic, so the benchmark measures the event loop itself.
+type chatterNode struct {
+	id    types.NodeID
+	n     int
+	out   []pingMsg
+	recvd int
+}
+
+func (cn *chatterNode) Step(m pingMsg) { cn.recvd++ }
+func (cn *chatterNode) Tick() {
+	for i := 0; i < cn.n; i++ {
+		if types.NodeID(i) == cn.id {
+			continue
+		}
+		cn.out = append(cn.out, pingMsg{from: cn.id, to: types.NodeID(i), kind: "chat"})
+	}
+}
+func (cn *chatterNode) Drain() []pingMsg { out := cn.out; cn.out = nil; return out }
+
+func chatterCluster(n int, opt simnet.Options) *Cluster[pingMsg] {
+	c := New(Config[pingMsg]{
+		Fabric: simnet.NewFabric(opt),
+		Dest:   func(m pingMsg) types.NodeID { return m.to },
+		Src:    func(m pingMsg) types.NodeID { return m.from },
+		Kind:   func(m pingMsg) string { return m.kind },
+	})
+	for i := 0; i < n; i++ {
+		c.Add(types.NodeID(i), &chatterNode{id: types.NodeID(i), n: n})
+	}
+	return c
+}
+
+// BenchmarkClusterStep measures one tick of an n-node all-to-all cluster
+// on a uniform 1-tick network: n·(n-1) sends and deliveries per Step.
+func BenchmarkClusterStep(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(types.NodeID(n).String(), func(b *testing.B) {
+			c := chatterCluster(n, simnet.Options{Seed: 1})
+			c.Run(5) // warm up steady state
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkClusterStepJitter adds delay jitter and drops, exercising the
+// fabric RNG path and out-of-order queue behaviour.
+func BenchmarkClusterStepJitter(b *testing.B) {
+	c := chatterCluster(16, simnet.Options{MinDelay: 1, MaxDelay: 9, DropRate: 0.05, DupRate: 0.02, Seed: 7})
+	c.Run(20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+// BenchmarkClusterStepIdle measures the per-tick floor: nodes that never
+// send, so the loop only ticks nodes and sweeps outboxes.
+func BenchmarkClusterStepIdle(b *testing.B) {
+	c := New(Config[pingMsg]{
+		Dest: func(m pingMsg) types.NodeID { return m.to },
+		Src:  func(m pingMsg) types.NodeID { return m.from },
+	})
+	for i := 0; i < 64; i++ {
+		c.Add(types.NodeID(i), &ringNode{id: types.NodeID(i), n: 64})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+// BenchmarkRingLatency replays the runner_test ring workload: a single
+// token circling 7 nodes under jitter, dominated by queue push/pop.
+func BenchmarkRingLatency(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fab := simnet.NewFabric(simnet.Options{MinDelay: 1, MaxDelay: 7, Seed: 42})
+		c, _ := ringCluster(7, 200, fab)
+		c.Inject(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"})
+		c.Run(400)
+	}
+}

@@ -2,17 +2,30 @@
 // simnet fabric. Every protocol in this repository is written as a
 // deterministic state machine — Step consumes one message, Tick advances
 // one logical time unit, Drain yields outbound messages — and the runner
-// supplies the event loop: a priority queue of in-flight messages whose
-// delivery times come from the fabric.
+// supplies the event loop: a bucketed timing wheel of in-flight messages
+// whose delivery times come from the fabric.
 //
 // The runner is generic over the protocol's message type, so Paxos
 // messages and PBFT messages never mix, and it supports byzantine
 // injection by intercepting a node's outbox with a mutator.
+//
+// The event loop is built for throughput without sacrificing replay
+// determinism:
+//
+//   - In-flight messages live in a timing wheel keyed by delivery tick
+//     rather than a binary heap. Fabric delays are small bounded
+//     integers, so O(1) FIFO buckets replace O(log n) heap churn while
+//     preserving the (tick, sequence) delivery order exactly.
+//   - Nodes live in dense slices behind a NodeID→slot table, not maps,
+//     so the per-delivery and per-tick paths never hash.
+//   - Outbox collection tracks a dirty set of nodes that just Stepped
+//     or Ticked instead of sweeping the whole cluster after every
+//     delivery.
 package runner
 
 import (
-	"container/heap"
 	"sort"
+	"sync"
 
 	"fortyconsensus/internal/simnet"
 	"fortyconsensus/internal/types"
@@ -43,44 +56,134 @@ type Config[M any] struct {
 }
 
 // Stats aggregates message-complexity metrics for an experiment run.
+// The JSON tags serve cmd/consensus-bench -json.
 type Stats struct {
-	Sent      int            // messages handed to the fabric
-	Delivered int            // messages that reached a Step call
-	Dropped   int            // lost to drops, partitions, or crashes
-	ByKind    map[string]int // delivered counts per message kind
-	Ticks     int            // elapsed logical time
+	Sent      int            `json:"sent"`      // messages handed to the fabric
+	Delivered int            `json:"delivered"` // messages that reached a Step call
+	Dropped   int            `json:"dropped"`   // lost to drops, partitions, or crashes
+	ByKind    map[string]int `json:"byKind"`    // delivered counts per message kind
+	Ticks     int            `json:"ticks"`     // elapsed logical time
 }
 
+// event is one queued message. The sequence number breaks ties between
+// messages due at the same tick, pinning replay order.
 type event[M any] struct {
-	at  int
-	seq uint64 // tie-break for determinism
+	seq uint64
 	msg M
 }
 
-type eventHeap[M any] []event[M]
-
-func (h eventHeap[M]) Len() int { return len(h) }
-func (h eventHeap[M]) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// wheel is a power-of-two ring of FIFO buckets, one per future tick.
+// Messages are appended to the bucket for their delivery tick in send
+// order, so draining a bucket front-to-back yields exactly the
+// (tick, seq) order the previous heap implementation produced. The
+// wheel grows (re-bucketing in place) whenever a delay reaches its
+// horizon, so arbitrary InjectDelayed delays stay correct.
+type wheel[M any] struct {
+	buckets [][]event[M] // len(buckets) is a power of two
+	mask    int
+	count   int
 }
-func (h eventHeap[M]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap[M]) Push(x any)   { *h = append(*h, x.(event[M])) }
-func (h *eventHeap[M]) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+const initialWheelSize = 64
+
+// push queues e for delivery at absolute tick at (> now).
+func (w *wheel[M]) push(now, at int, e event[M]) {
+	delay := at - now
+	if delay < 1 {
+		delay = 1
+		at = now + 1
+	}
+	if delay >= len(w.buckets) {
+		w.grow(now, delay)
+	}
+	idx := at & w.mask
+	w.buckets[idx] = append(w.buckets[idx], e)
+	w.count++
+}
+
+// grow resizes the ring until delay fits, re-bucketing pending events.
+// All pending events sit in (now, now+oldSize], so each maps to a
+// distinct bucket in the larger ring and FIFO order is preserved.
+func (w *wheel[M]) grow(now, delay int) {
+	size := len(w.buckets)
+	if size == 0 {
+		size = initialWheelSize
+	}
+	for size <= delay {
+		size *= 2
+	}
+	old := w.buckets
+	oldMask := w.mask
+	w.buckets = make([][]event[M], size)
+	w.mask = size - 1
+	for at := now + 1; at <= now+len(old); at++ {
+		b := old[at&oldMask]
+		if len(b) > 0 {
+			w.buckets[at&w.mask] = b
+		}
+	}
+}
+
+// take removes and returns the bucket due at tick now.
+func (w *wheel[M]) take(now int) []event[M] {
+	if w.count == 0 || len(w.buckets) == 0 {
+		return nil
+	}
+	idx := now & w.mask
+	b := w.buckets[idx]
+	if len(b) == 0 {
+		return nil
+	}
+	w.buckets[idx] = nil
+	w.count -= len(b)
+	return b
+}
+
+// noSlot marks a NodeID with no registered node.
+const noSlot = int32(-1)
+
+// maxDenseID bounds the direct-indexed NodeID→slot table; IDs at or
+// above it (or negative) fall back to a map so a stray huge ID cannot
+// allocate an enormous slice.
+const maxDenseID = 1 << 16
 
 // Cluster runs a set of protocol nodes over one fabric.
+//
+// Node state lives in dense parallel slices indexed by "slot"
+// (registration index); the order slice holds slots sorted by NodeID so
+// iteration order — and therefore every schedule — is independent of
+// Add order.
 type Cluster[M any] struct {
-	cfg       Config[M]
-	nodes     map[types.NodeID]Node[M]
-	order     []types.NodeID // deterministic iteration order
-	intercept map[types.NodeID]Interceptor[M]
-	paused    map[types.NodeID]bool // crashed nodes don't Step or Tick
-	queue     eventHeap[M]
-	seq       uint64
-	now       int
-	stats     Stats
+	cfg Config[M]
+
+	nodes     []Node[M]
+	ids       []types.NodeID // slot -> NodeID
+	intercept []Interceptor[M]
+	paused    []bool // crashed nodes don't Step or Tick
+	isDirty   []bool
+
+	order []int32 // slots sorted by NodeID: deterministic iteration
+
+	slots      []int32                // NodeID -> slot for small non-negative IDs
+	slotsExtra map[types.NodeID]int32 // fallback for negative or huge IDs
+
+	// pausedUnknown and interceptUnknown hold Crash/Intercept calls for
+	// IDs that have no node yet; Add transfers them to the slot tables.
+	pausedUnknown    map[types.NodeID]bool
+	interceptUnknown map[types.NodeID]Interceptor[M]
+
+	dirty   []int32 // slots with possibly non-empty outboxes, deduped via isDirty
+	scratch []int32 // recycled batch buffer for collect
+
+	queue wheel[M]
+	seq   uint64
+	now   int
+	stats Stats
+
+	// Global-aggregate bookkeeping: the portion of stats (and ticks)
+	// already flushed into the process-wide counters.
+	flushed    Stats
+	flushedNow int
 }
 
 // New builds an empty cluster.
@@ -89,44 +192,112 @@ func New[M any](cfg Config[M]) *Cluster[M] {
 		cfg.Fabric = simnet.NewFabric(simnet.Options{})
 	}
 	return &Cluster[M]{
-		cfg:       cfg,
-		nodes:     make(map[types.NodeID]Node[M]),
-		intercept: make(map[types.NodeID]Interceptor[M]),
-		paused:    make(map[types.NodeID]bool),
-		stats:     Stats{ByKind: make(map[string]int)},
+		cfg:   cfg,
+		stats: Stats{ByKind: make(map[string]int)},
 	}
+}
+
+// slot resolves id to its dense index, or noSlot if unregistered.
+func (c *Cluster[M]) slot(id types.NodeID) int32 {
+	if id >= 0 && int(id) < len(c.slots) {
+		return c.slots[id]
+	}
+	if s, ok := c.slotsExtra[id]; ok {
+		return s
+	}
+	return noSlot
 }
 
 // Add registers a node under id. Adding replaces any previous node.
 func (c *Cluster[M]) Add(id types.NodeID, n Node[M]) {
-	if _, ok := c.nodes[id]; !ok {
-		c.order = append(c.order, id)
-		sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+	if s := c.slot(id); s != noSlot {
+		c.nodes[s] = n
+		return
 	}
-	c.nodes[id] = n
+	s := int32(len(c.nodes))
+	c.nodes = append(c.nodes, n)
+	c.ids = append(c.ids, id)
+	c.intercept = append(c.intercept, c.interceptUnknown[id])
+	delete(c.interceptUnknown, id)
+	c.paused = append(c.paused, c.pausedUnknown[id])
+	delete(c.pausedUnknown, id)
+	c.isDirty = append(c.isDirty, false)
+
+	if id >= 0 && id < maxDenseID {
+		if need := int(id) + 1; need > len(c.slots) {
+			grown := make([]int32, need)
+			copy(grown, c.slots)
+			for i := len(c.slots); i < need; i++ {
+				grown[i] = noSlot
+			}
+			c.slots = grown
+		}
+		c.slots[id] = s
+	} else {
+		if c.slotsExtra == nil {
+			c.slotsExtra = make(map[types.NodeID]int32)
+		}
+		c.slotsExtra[id] = s
+	}
+
+	// Insert the slot at its sorted position: one copy, no re-sort.
+	i := sort.Search(len(c.order), func(i int) bool { return c.ids[c.order[i]] > id })
+	c.order = append(c.order, 0)
+	copy(c.order[i+1:], c.order[i:])
+	c.order[i] = s
 }
 
 // Node returns the node registered under id, or nil.
-func (c *Cluster[M]) Node(id types.NodeID) Node[M] { return c.nodes[id] }
+func (c *Cluster[M]) Node(id types.NodeID) Node[M] {
+	if s := c.slot(id); s != noSlot {
+		return c.nodes[s]
+	}
+	return nil
+}
 
 // Intercept installs a byzantine outbox mutator for node id.
-func (c *Cluster[M]) Intercept(id types.NodeID, f Interceptor[M]) { c.intercept[id] = f }
+func (c *Cluster[M]) Intercept(id types.NodeID, f Interceptor[M]) {
+	if s := c.slot(id); s != noSlot {
+		c.intercept[s] = f
+		return
+	}
+	if c.interceptUnknown == nil {
+		c.interceptUnknown = make(map[types.NodeID]Interceptor[M])
+	}
+	c.interceptUnknown[id] = f
+}
 
 // Crash stops a node from stepping/ticking and cuts it off the network.
 func (c *Cluster[M]) Crash(id types.NodeID) {
-	c.paused[id] = true
+	if s := c.slot(id); s != noSlot {
+		c.paused[s] = true
+	} else {
+		if c.pausedUnknown == nil {
+			c.pausedUnknown = make(map[types.NodeID]bool)
+		}
+		c.pausedUnknown[id] = true
+	}
 	c.cfg.Fabric.Crash(id)
 }
 
 // Restart resumes a crashed node. Protocol state is whatever the node
 // object still holds; protocols that persist via WAL reload externally.
 func (c *Cluster[M]) Restart(id types.NodeID) {
-	delete(c.paused, id)
+	if s := c.slot(id); s != noSlot {
+		c.paused[s] = false
+	} else {
+		delete(c.pausedUnknown, id)
+	}
 	c.cfg.Fabric.Restart(id)
 }
 
 // Crashed reports whether id is currently crashed.
-func (c *Cluster[M]) Crashed(id types.NodeID) bool { return c.paused[id] }
+func (c *Cluster[M]) Crashed(id types.NodeID) bool {
+	if s := c.slot(id); s != noSlot {
+		return c.paused[s]
+	}
+	return c.pausedUnknown[id]
+}
 
 // Now returns the current logical time in ticks.
 func (c *Cluster[M]) Now() int { return c.now }
@@ -149,7 +320,9 @@ func (c *Cluster[M]) Stats() Stats {
 // ResetStats zeroes message accounting (useful to measure steady state
 // after warmup).
 func (c *Cluster[M]) ResetStats() {
+	c.flushGlobal()
 	c.stats = Stats{ByKind: make(map[string]int)}
+	c.flushed = Stats{}
 }
 
 // Inject queues a message from outside the cluster (a client) for
@@ -164,7 +337,7 @@ func (c *Cluster[M]) InjectDelayed(m M, delay int) {
 		delay = 1
 	}
 	c.seq++
-	heap.Push(&c.queue, event[M]{at: c.now + delay, seq: c.seq, msg: m})
+	c.queue.push(c.now, c.now+delay, event[M]{seq: c.seq, msg: m})
 }
 
 // send routes one protocol-emitted message through the fabric.
@@ -176,30 +349,54 @@ func (c *Cluster[M]) send(m M) {
 		c.stats.Dropped++
 	} else {
 		c.seq++
-		heap.Push(&c.queue, event[M]{at: c.now + v.Delay, seq: c.seq, msg: m})
+		c.queue.push(c.now, c.now+v.Delay, event[M]{seq: c.seq, msg: m})
 	}
 	if hasDup && !dup.Drop {
 		c.seq++
-		heap.Push(&c.queue, event[M]{at: c.now + dup.Delay, seq: c.seq, msg: m})
+		c.queue.push(c.now, c.now+dup.Delay, event[M]{seq: c.seq, msg: m})
 	}
 }
 
-// collect drains every node's outbox into the fabric, applying
-// interceptors. It loops until no node emits anything so that a message
-// generated in response to a Tick is posted in the same tick.
+// markDirty flags a node whose outbox may now be non-empty.
+func (c *Cluster[M]) markDirty(s int32) {
+	if !c.isDirty[s] {
+		c.isDirty[s] = true
+		c.dirty = append(c.dirty, s)
+	}
+}
+
+// collect drains the outboxes of dirty nodes — those that Stepped or
+// Ticked since the last collect — into the fabric, applying
+// interceptors. A node that emitted is drained again on the next round
+// (mirroring the previous implementation's loop-until-quiet sweep), so
+// a message generated in response to a Tick is posted in the same tick.
+// Rounds process nodes in NodeID order to keep schedules replayable.
 func (c *Cluster[M]) collect() {
-	for {
-		emitted := false
-		for _, id := range c.order {
-			if c.paused[id] {
+	for len(c.dirty) > 0 {
+		batch := c.dirty
+		c.dirty = c.scratch[:0]
+		if len(batch) > 1 {
+			sorted := true
+			for i := 1; i < len(batch); i++ {
+				if c.ids[batch[i-1]] > c.ids[batch[i]] {
+					sorted = false
+					break
+				}
+			}
+			if !sorted {
+				sort.Slice(batch, func(i, j int) bool { return c.ids[batch[i]] < c.ids[batch[j]] })
+			}
+		}
+		for _, s := range batch {
+			c.isDirty[s] = false
+			if c.paused[s] {
 				continue
 			}
-			out := c.nodes[id].Drain()
+			out := c.nodes[s].Drain()
 			if len(out) == 0 {
 				continue
 			}
-			emitted = true
-			mut := c.intercept[id]
+			mut := c.intercept[s]
 			for _, m := range out {
 				if mut == nil {
 					c.send(m)
@@ -209,37 +406,52 @@ func (c *Cluster[M]) collect() {
 					c.send(mm)
 				}
 			}
+			c.markDirty(s)
 		}
-		if !emitted {
-			return
-		}
+		c.scratch = batch[:0]
 	}
+}
+
+// deliver hands one due message to its destination node.
+func (c *Cluster[M]) deliver(m M) {
+	to := c.cfg.Dest(m)
+	s := c.slot(to)
+	if s == noSlot || c.paused[s] || c.cfg.Fabric.Down(to) {
+		c.stats.Dropped++
+		return
+	}
+	c.stats.Delivered++
+	if c.cfg.Kind != nil {
+		c.stats.ByKind[c.cfg.Kind(m)]++
+	}
+	c.nodes[s].Step(m)
+	c.markDirty(s)
+	c.collect()
 }
 
 // Step advances the simulation one tick: deliver all messages due now,
 // tick every node, and post newly generated messages.
 func (c *Cluster[M]) Step() {
 	c.now++
-	for len(c.queue) > 0 && c.queue[0].at <= c.now {
-		e := heap.Pop(&c.queue).(event[M])
-		to := c.cfg.Dest(e.msg)
-		n, ok := c.nodes[to]
-		if !ok || c.paused[to] || c.cfg.Fabric.Down(to) {
-			c.stats.Dropped++
-			continue
+	mask := c.queue.mask
+	if b := c.queue.take(c.now); b != nil {
+		for i := range b {
+			c.deliver(b[i].msg)
 		}
-		c.stats.Delivered++
-		if c.cfg.Kind != nil {
-			c.stats.ByKind[c.cfg.Kind(e.msg)]++
+		// Recycle the bucket unless the wheel grew mid-delivery (the
+		// ring was reallocated) or something re-occupied the index.
+		if c.queue.mask == mask {
+			if idx := c.now & mask; c.queue.buckets[idx] == nil {
+				c.queue.buckets[idx] = b[:0]
+			}
 		}
-		n.Step(e.msg)
-		c.collect()
 	}
-	for _, id := range c.order {
-		if c.paused[id] {
+	for _, s := range c.order {
+		if c.paused[s] {
 			continue
 		}
-		c.nodes[id].Tick()
+		c.nodes[s].Tick()
+		c.markDirty(s)
 	}
 	c.collect()
 }
@@ -249,11 +461,13 @@ func (c *Cluster[M]) Run(n int) {
 	for i := 0; i < n; i++ {
 		c.Step()
 	}
+	c.flushGlobal()
 }
 
 // RunUntil steps until pred returns true or maxTicks elapse, reporting
 // whether pred fired.
 func (c *Cluster[M]) RunUntil(pred func() bool, maxTicks int) bool {
+	defer c.flushGlobal()
 	for i := 0; i < maxTicks; i++ {
 		if pred() {
 			return true
@@ -264,4 +478,76 @@ func (c *Cluster[M]) RunUntil(pred func() bool, maxTicks int) bool {
 }
 
 // Pending returns the number of in-flight messages.
-func (c *Cluster[M]) Pending() int { return len(c.queue) }
+func (c *Cluster[M]) Pending() int { return c.queue.count }
+
+// ---------------------------------------------------------------------------
+// Process-wide accounting
+
+// global accumulates accounting across every cluster in the process, so
+// tooling (cmd/consensus-bench -json) can report per-experiment message
+// totals without threading a collector through each experiment.
+var global struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+// GlobalStats snapshots the process-wide aggregate of all clusters'
+// accounting. Clusters flush their deltas at the end of every Run and
+// RunUntil, so a caller that runs experiments sequentially can diff
+// snapshots taken around each one.
+func GlobalStats() Stats {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	s := global.s
+	s.ByKind = make(map[string]int, len(global.s.ByKind))
+	for k, v := range global.s.ByKind {
+		s.ByKind[k] = v
+	}
+	return s
+}
+
+// Sub returns the counter-wise difference s - prev, for diffing two
+// GlobalStats snapshots.
+func (s Stats) Sub(prev Stats) Stats {
+	d := Stats{
+		Sent:      s.Sent - prev.Sent,
+		Delivered: s.Delivered - prev.Delivered,
+		Dropped:   s.Dropped - prev.Dropped,
+		Ticks:     s.Ticks - prev.Ticks,
+		ByKind:    make(map[string]int),
+	}
+	for k, v := range s.ByKind {
+		if dv := v - prev.ByKind[k]; dv != 0 {
+			d.ByKind[k] = dv
+		}
+	}
+	return d
+}
+
+// flushGlobal adds this cluster's accounting since the last flush to
+// the process-wide aggregate.
+func (c *Cluster[M]) flushGlobal() {
+	dSent := c.stats.Sent - c.flushed.Sent
+	dDelivered := c.stats.Delivered - c.flushed.Delivered
+	dDropped := c.stats.Dropped - c.flushed.Dropped
+	dTicks := c.now - c.flushedNow
+	if dSent == 0 && dDelivered == 0 && dDropped == 0 && dTicks == 0 {
+		return
+	}
+	global.mu.Lock()
+	global.s.Sent += dSent
+	global.s.Delivered += dDelivered
+	global.s.Dropped += dDropped
+	global.s.Ticks += dTicks
+	if global.s.ByKind == nil {
+		global.s.ByKind = make(map[string]int)
+	}
+	for k, v := range c.stats.ByKind {
+		if dv := v - c.flushed.ByKind[k]; dv != 0 {
+			global.s.ByKind[k] += dv
+		}
+	}
+	global.mu.Unlock()
+	c.flushedNow = c.now
+	c.flushed = c.Stats()
+}

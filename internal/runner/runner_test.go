@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"fmt"
 	"testing"
 
 	"fortyconsensus/internal/simnet"
@@ -211,5 +212,172 @@ func TestInjectDelayed(t *testing.T) {
 	c.Run(2)
 	if nodes[1].received != 1 {
 		t.Fatal("clamped injection lost")
+	}
+}
+
+// traceNode records every delivery as "tick:receiver:sender:hop" in a
+// shared trace and fans each message out to two neighbours, producing a
+// schedule that is sensitive to delivery and send ordering.
+type traceNode struct {
+	id     types.NodeID
+	n      int
+	maxHop int
+	c      *Cluster[pingMsg]
+	trace  *[]string
+	out    []pingMsg
+}
+
+func (tn *traceNode) Step(m pingMsg) {
+	*tn.trace = append(*tn.trace, fmt.Sprintf("%d:%d:%d:%d", tn.c.Now(), tn.id, m.from, m.hop))
+	if m.hop < tn.maxHop {
+		for d := 1; d <= 2; d++ {
+			tn.out = append(tn.out, pingMsg{
+				from: tn.id, to: types.NodeID((int(tn.id) + d) % tn.n),
+				hop: m.hop + 1, kind: "ping",
+			})
+		}
+	}
+}
+func (tn *traceNode) Tick()            {}
+func (tn *traceNode) Drain() []pingMsg { out := tn.out; tn.out = nil; return out }
+
+// TestAddOrderDoesNotAffectSchedule registers the same nodes in
+// different orders and requires byte-identical delivery traces: the
+// cluster's iteration order is defined by NodeID, never by insertion
+// history.
+func TestAddOrderDoesNotAffectSchedule(t *testing.T) {
+	run := func(order []types.NodeID) []string {
+		fab := simnet.NewFabric(simnet.Options{MinDelay: 1, MaxDelay: 5, DropRate: 0.05, Seed: 42})
+		c := New(Config[pingMsg]{
+			Fabric: fab,
+			Dest:   func(m pingMsg) types.NodeID { return m.to },
+			Src:    func(m pingMsg) types.NodeID { return m.from },
+			Kind:   func(m pingMsg) string { return m.kind },
+		})
+		var trace []string
+		for _, id := range order {
+			c.Add(id, &traceNode{id: id, n: len(order), maxHop: 6, c: c, trace: &trace})
+		}
+		c.Inject(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"})
+		c.Run(60)
+		return trace
+	}
+	want := run([]types.NodeID{0, 1, 2, 3})
+	for _, order := range [][]types.NodeID{{3, 1, 0, 2}, {2, 3, 1, 0}} {
+		got := run(order)
+		if len(got) != len(want) {
+			t.Fatalf("Add order %v: %d deliveries, want %d", order, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Add order %v: delivery %d = %q, want %q", order, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDupRateDoubleDelivery forces DupRate to 1 so every fabric send is
+// delivered twice while counting as a single Sent message.
+func TestDupRateDoubleDelivery(t *testing.T) {
+	fab := simnet.NewFabric(simnet.Options{DupRate: 1, Seed: 1})
+	c, nodes := ringCluster(3, 1, fab)
+	c.Inject(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"})
+	c.Run(10)
+	// Node 0 relays the injected ping once; the fabric duplicates it.
+	if nodes[1].received != 2 {
+		t.Fatalf("duplicate delivery count = %d, want 2", nodes[1].received)
+	}
+	st := c.Stats()
+	if st.Sent != 1 {
+		t.Fatalf("Sent = %d, want 1 (duplication is a fabric effect)", st.Sent)
+	}
+	if st.Delivered != 3 { // injected ping + both copies
+		t.Fatalf("Delivered = %d, want 3", st.Delivered)
+	}
+}
+
+// TestInterceptorExpansionAccounting checks that an interceptor's
+// replacement messages — none for drops, several for equivocation — are
+// what the cluster actually sends and charges to Stats.
+func TestInterceptorExpansionAccounting(t *testing.T) {
+	c, nodes := ringCluster(4, 1, nil)
+	calls := 0
+	c.Intercept(0, func(m pingMsg) []pingMsg {
+		calls++
+		if calls == 1 {
+			return nil // censor the first relay entirely
+		}
+		m2, m3 := m, m
+		m2.to = 2
+		m3.to = 3
+		return []pingMsg{m2, m3, m2}
+	})
+	// Two pings through node 0: the first relay is censored, the second
+	// replaced by three messages to other destinations.
+	c.Inject(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"})
+	c.Run(5)
+	c.Inject(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"})
+	c.Run(15)
+	if nodes[1].received != 0 {
+		t.Fatalf("censored destination received %d", nodes[1].received)
+	}
+	if nodes[2].received != 2 || nodes[3].received != 1 {
+		t.Fatalf("expanded deliveries = %d,%d; want 2,1", nodes[2].received, nodes[3].received)
+	}
+	st := c.Stats()
+	if st.Sent != 3 { // the three replacement messages; the censored one never reaches the fabric
+		t.Fatalf("Sent = %d, want 3", st.Sent)
+	}
+}
+
+// TestDeliveryAfterRestart pins the crash-window semantics: a message
+// due while its destination is crashed is dropped, while one due after
+// the node restarted is delivered.
+func TestDeliveryAfterRestart(t *testing.T) {
+	c, nodes := ringCluster(2, 0, nil)
+	// Due at tick 2; node 1 crashes at tick 0 and restarts at tick 5.
+	c.InjectDelayed(pingMsg{from: -1, to: 1, hop: 0, kind: "ping"}, 2)
+	// Due at tick 8, after the restart.
+	c.InjectDelayed(pingMsg{from: -1, to: 1, hop: 0, kind: "ping"}, 8)
+	c.Crash(1)
+	c.Run(4)
+	if nodes[1].received != 0 {
+		t.Fatalf("crashed node received %d messages", nodes[1].received)
+	}
+	if got := c.Stats().Dropped; got != 1 {
+		t.Fatalf("Dropped = %d, want 1 (message due mid-crash)", got)
+	}
+	c.Restart(1)
+	c.Run(6)
+	if nodes[1].received != 1 {
+		t.Fatalf("post-restart deliveries = %d, want 1", nodes[1].received)
+	}
+}
+
+// TestPendingAccounting tracks the in-flight queue through injections,
+// deliveries, and fabric duplication.
+func TestPendingAccounting(t *testing.T) {
+	fab := simnet.NewFabric(simnet.Options{DupRate: 1, Seed: 3})
+	c, nodes := ringCluster(3, 1, fab)
+	if c.Pending() != 0 {
+		t.Fatalf("fresh cluster Pending = %d", c.Pending())
+	}
+	c.InjectDelayed(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"}, 1)
+	c.InjectDelayed(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"}, 3)
+	if c.Pending() != 2 {
+		t.Fatalf("Pending after two injections = %d, want 2", c.Pending())
+	}
+	// Tick 1: first injection delivered; node 0's relay plus its fabric
+	// duplicate join the second injection in flight.
+	c.Step()
+	if c.Pending() != 3 {
+		t.Fatalf("Pending after tick 1 = %d, want 3", c.Pending())
+	}
+	c.Run(10)
+	if c.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", c.Pending())
+	}
+	if nodes[1].received != 4 { // both relays, each duplicated
+		t.Fatalf("node 1 received %d, want 4", nodes[1].received)
 	}
 }

@@ -104,10 +104,17 @@ func (f *Fabric) Classify(from, to types.NodeID) (v Verdict, dup Verdict, hasDup
 	return v, Verdict{}, false
 }
 
+// delay draws one delivery latency. The len guard skips the per-link
+// override lookup — a map hash per message — on the common fast path
+// where no link overrides exist. The RNG is always consumed for
+// non-loopback sends (even when lo == hi) so that enabling or disabling
+// link overrides never shifts the replay stream.
 func (f *Fabric) delay(from, to types.NodeID) int {
 	lo, hi := f.opt.MinDelay, f.opt.MaxDelay
-	if d, ok := f.linkDelay[link{from, to}]; ok {
-		lo, hi = d[0], d[1]
+	if len(f.linkDelay) > 0 {
+		if d, ok := f.linkDelay[link{from, to}]; ok {
+			lo, hi = d[0], d[1]
+		}
 	}
 	if from == to {
 		return 1 // local loopback still costs one tick to keep causality
@@ -115,12 +122,14 @@ func (f *Fabric) delay(from, to types.NodeID) int {
 	return f.rng.Range(lo, hi)
 }
 
-// Blocked reports whether from cannot currently reach to.
+// Blocked reports whether from cannot currently reach to. Each fault
+// table is consulted only when non-empty, so a fault-free fabric rules
+// on a message without a single map access.
 func (f *Fabric) Blocked(from, to types.NodeID) bool {
-	if f.downed[from] || f.downed[to] {
+	if len(f.downed) > 0 && (f.downed[from] || f.downed[to]) {
 		return true
 	}
-	if f.linkCut[link{from, to}] {
+	if len(f.linkCut) > 0 && f.linkCut[link{from, to}] {
 		return true
 	}
 	if len(f.partition) > 0 && f.partition[from] != f.partition[to] {
@@ -152,7 +161,9 @@ func (f *Fabric) Crash(n types.NodeID) { f.downed[n] = true }
 func (f *Fabric) Restart(n types.NodeID) { delete(f.downed, n) }
 
 // Down reports whether n is currently crashed.
-func (f *Fabric) Down(n types.NodeID) bool { return f.downed[n] }
+func (f *Fabric) Down(n types.NodeID) bool {
+	return len(f.downed) > 0 && f.downed[n]
+}
 
 // SetLinkDelay overrides the delay bounds for the directed link from->to.
 func (f *Fabric) SetLinkDelay(from, to types.NodeID, lo, hi int) {
