@@ -6,7 +6,7 @@ GO ?= go
 # proportionate.
 RACE_PKGS := ./internal/runner ./internal/simnet ./internal/experiments
 
-.PHONY: all build test test-race bench golden
+.PHONY: all build test test-race bench golden lint ci
 
 all: build test
 
@@ -14,11 +14,24 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-test: build
+# Static analysis: go vet plus the repo's own determinism-contract
+# analyzers (nodeterm, maporder, quorumlit). Zero unsuppressed findings
+# is a merge requirement; see DESIGN.md "Determinism contract".
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/consensus-lint ./...
+
+test: build lint
 	$(GO) test ./...
 
 test-race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Full gate: everything CI runs, in order. The golden step verifies the
+# pinned experiment artifacts byte-for-byte (no -update).
+ci: build lint
+	$(GO) test -race ./...
+	$(GO) test ./internal/experiments -run TestGoldenArtifacts -count=1
 
 # Micro-benchmarks for the simulation hot path (runner event loop,
 # SHA256d mining substrate, PoW mining loop).

@@ -1,0 +1,249 @@
+// Command consensus-lint is the repo's determinism-contract
+// multichecker (DESIGN.md, "Determinism contract"). It runs three
+// analyzers over the protocol and core packages:
+//
+//	nodeterm   no wall-clock, global randomness, env reads,
+//	           goroutines or channels in protocol code
+//	maporder   no order-sensitive effects inside range-over-map
+//	quorumlit  no hand-rolled quorum arithmetic outside internal/quorum
+//
+// The harness layer (runner, simnet, experiments, workload, metrics,
+// transport, kvstore, wal, cmd, examples and the linter itself) is
+// exempt: it legitimately runs goroutines, real sockets and wall-clock
+// benchmarks. internal/quorum is additionally exempt from quorumlit —
+// it is where the arithmetic is supposed to live.
+//
+// Findings are suppressed site-by-site with
+//
+//	//lint:allow <check> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory.
+//
+// Usage:
+//
+//	consensus-lint [-v] [packages]
+//
+// Packages are directories or ./... patterns relative to the working
+// directory; the default is ./... from the module root. Exits 1 if any
+// unsuppressed finding remains.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fortyconsensus/internal/lint/analysis"
+	"fortyconsensus/internal/lint/maporder"
+	"fortyconsensus/internal/lint/nodeterm"
+	"fortyconsensus/internal/lint/quorumlit"
+)
+
+// exemptPrefixes names the harness layer, module-relative. Packages
+// under these prefixes are skipped entirely.
+var exemptPrefixes = []string{
+	"cmd",
+	"examples",
+	"internal/lint",
+	"internal/runner",
+	"internal/simnet",
+	"internal/experiments",
+	"internal/workload",
+	"internal/metrics",
+	"internal/transport",
+	"internal/kvstore",
+	"internal/wal",
+}
+
+// quorumlitExempt additionally skips quorumlit where the arithmetic
+// belongs.
+var quorumlitExempt = []string{"internal/quorum"}
+
+func main() {
+	verbose := flag.Bool("v", false, "list the packages checked")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: consensus-lint [-v] [packages]\n\n")
+		for _, a := range []*analysis.Analyzer{nodeterm.Analyzer, maporder.Analyzer, quorumlit.Analyzer} {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if err := run(flag.Args(), *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "consensus-lint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string, verbose bool) error {
+	moduleDir, modulePath, err := findModule()
+	if err != nil {
+		return err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{filepath.Join(moduleDir, "...")}
+	}
+	dirs, err := expand(patterns)
+	if err != nil {
+		return err
+	}
+	loader := analysis.NewLoader(modulePath, moduleDir)
+	findings := 0
+	checked := 0
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(moduleDir, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return fmt.Errorf("%s is outside module %s", dir, modulePath)
+		}
+		rel = filepath.ToSlash(rel)
+		if exempt(rel, exemptPrefixes) {
+			continue
+		}
+		analyzers := []*analysis.Analyzer{nodeterm.Analyzer, maporder.Analyzer}
+		if !exempt(rel, quorumlitExempt) {
+			analyzers = append(analyzers, quorumlit.Analyzer)
+		}
+		importPath := modulePath
+		if rel != "." {
+			importPath = modulePath + "/" + rel
+		}
+		pkg, err := loader.LoadDir(dir, importPath)
+		if err != nil {
+			return err
+		}
+		checked++
+		if verbose {
+			names := make([]string, len(analyzers))
+			for i, a := range analyzers {
+				names[i] = a.Name
+			}
+			fmt.Fprintf(os.Stderr, "checking %s (%s)\n", importPath, strings.Join(names, ","))
+		}
+		diags, err := analysis.Run(pkg, analyzers...)
+		if err != nil {
+			return err
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			file := pos.Filename
+			if r, err := filepath.Rel(moduleDir, file); err == nil && !strings.HasPrefix(r, "..") {
+				file = r
+			}
+			fmt.Printf("%s:%d:%d: %s [%s]\n", file, pos.Line, pos.Column, d.Message, d.Category)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "consensus-lint: %d finding(s) in %d package(s)\n", findings, checked)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// exempt reports whether module-relative path rel falls under any prefix.
+func exempt(rel string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// findModule walks up from the working directory to go.mod and returns
+// the module directory and path.
+func findModule() (dir, path string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gm := filepath.Join(dir, "go.mod")
+		if f, err := os.Open(gm); err == nil {
+			defer f.Close()
+			sc := bufio.NewScanner(f)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if strings.HasPrefix(line, "module ") {
+					return dir, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s names no module", gm)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expand resolves directory arguments and /... wildcards into the set
+// of directories that contain non-test Go sources.
+func expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if abs, err := filepath.Abs(d); err == nil && !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		base, recursive := pat, false
+		if strings.HasSuffix(pat, "...") {
+			recursive = true
+			base = filepath.Dir(strings.TrimSuffix(pat, "..."))
+			if base == "" {
+				base = "."
+			}
+		}
+		if !recursive {
+			if !hasGoSource(base) {
+				return nil, fmt.Errorf("%s: no Go source files", base)
+			}
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if name == "testdata" || (len(name) > 1 && (name[0] == '.' || name[0] == '_')) {
+				return filepath.SkipDir
+			}
+			if hasGoSource(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoSource reports whether dir directly contains a non-test Go file.
+func hasGoSource(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -13,6 +13,7 @@
 package chaincrypto
 
 import (
+	"bytes"
 	"crypto/ed25519"
 	"crypto/hmac"
 	"crypto/sha256"
@@ -34,6 +35,13 @@ func (d Digest) String() string { return fmt.Sprintf("%x", d[:6]) }
 
 // IsZero reports whether d is the all-zero digest.
 func (d Digest) IsZero() bool { return d == Digest{} }
+
+// Compare orders digests bytewise (negative when d < o), giving
+// protocol sweeps a total order over request digests: replicas iterate
+// pending-request maps via det.SortedKeysFunc(m, Digest.Compare) so
+// re-proposals and retransmissions leave every replica in the same
+// order regardless of Go's randomised map iteration.
+func (d Digest) Compare(o Digest) int { return bytes.Compare(d[:], o[:]) }
 
 // Hash returns the SHA-256 digest of the concatenation of parts.
 func Hash(parts ...[]byte) Digest {

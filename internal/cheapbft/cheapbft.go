@@ -22,10 +22,10 @@ package cheapbft
 
 import (
 	"fmt"
-	"sort"
 
 	"fortyconsensus/internal/chaincrypto"
 	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/quorum"
 	"fortyconsensus/internal/trustedhw"
 	"fortyconsensus/internal/types"
@@ -38,9 +38,9 @@ func init() {
 		Failure:              core.Hybrid,
 		Strategy:             core.Optimistic,
 		Awareness:            core.KnownParticipants,
-		NodesFor:             func(f int) int { return 2*f + 1 },
+		NodesFor:             func(f int) int { return quorum.Trusted{F: f}.Size() },
 		NodesFormula:         "f+1 active of 2f+1",
-		QuorumFor:            func(f int) int { return f + 1 },
+		QuorumFor:            func(f int) int { return quorum.Trusted{F: f}.Threshold() },
 		CommitPhases:         2,
 		Complexity:           core.Linear,
 		ViewChangeComplexity: core.Linear,
@@ -216,7 +216,7 @@ type pend struct {
 func NewReplica(id types.NodeID, cfg Config) *Replica {
 	cfg = cfg.withDefaults()
 	if cfg.N == 0 {
-		cfg.N = 2*cfg.F + 1
+		cfg.N = quorum.Trusted{F: cfg.F}.Size()
 	}
 	return &Replica{
 		id:      id,
@@ -561,12 +561,11 @@ func (r *Replica) beginSwitch() {
 	next := types.NodeID(int(r.histEpoch) % r.cfg.N)
 	if next == r.id {
 		entries := make([]Entry, 0, len(r.slots))
-		for seq, s := range r.slots {
-			if seq > r.exec && s.req != nil {
+		for _, seq := range det.SortedKeys(r.slots) {
+			if s := r.slots[seq]; seq > r.exec && s.req != nil {
 				entries = append(entries, Entry{Seq: seq, Req: s.req.Clone()})
 			}
 		}
-		sort.Slice(entries, func(i, j int) bool { return entries[i].Seq < entries[j].Seq })
 		hist := Message{Kind: MsgHistory, Epoch: r.epoch, Executed: r.exec, Entries: entries}
 		r.certSend(hist, r.everyoneElse()...)
 		// The leader votes for its own history so that peers with only
@@ -651,21 +650,13 @@ func (r *Replica) maybeFinishSwitch() {
 		r.pending[d] = p
 	}
 	if r.IsPrimary() {
-		keys := make([]string, 0, len(r.pending))
-		byKey := map[string]chaincrypto.Digest{}
-		for d := range r.pending {
-			k := d.String()
-			keys = append(keys, k)
-			byKey[k] = d
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			r.prepare(r.pending[byKey[k]].req, byKey[k])
+		for _, d := range det.SortedKeysFunc(r.pending, chaincrypto.Digest.Compare) {
+			r.prepare(r.pending[d].req, d)
 		}
 	} else {
 		// Hand surviving requests to the new primary.
-		for _, p := range r.pending {
-			r.send(Message{Kind: MsgRequest, To: r.primary(), Req: p.req.Clone()})
+		for _, d := range det.SortedKeysFunc(r.pending, chaincrypto.Digest.Compare) {
+			r.send(Message{Kind: MsgRequest, To: r.primary(), Req: r.pending[d].req.Clone()})
 		}
 	}
 }
@@ -678,12 +669,14 @@ func (r *Replica) Tick() {
 		if !r.isActive(r.id) {
 			return
 		}
+		//lint:allow maporder any timed-out slot triggers the same single panic; which fires first is immaterial
 		for seq, s := range r.slots {
 			if seq > r.exec && s.req != nil && !s.committed && r.now-s.started > r.cfg.RequestTimeout {
 				r.panic()
 				return
 			}
 		}
+		//lint:allow maporder any timed-out request triggers the same single panic; which fires first is immaterial
 		for _, p := range r.pending {
 			if r.now-p.since > r.cfg.RequestTimeout {
 				r.panic()
@@ -691,7 +684,8 @@ func (r *Replica) Tick() {
 			}
 		}
 	case ModeMinBFT:
-		for d, p := range r.pending {
+		for _, d := range det.SortedKeysFunc(r.pending, chaincrypto.Digest.Compare) {
+			p := r.pending[d]
 			if r.now-p.since > 2*r.cfg.RequestTimeout {
 				// The MinBFT-mode primary is stalling: panic again so
 				// the epoch (and primary) advances.

@@ -17,9 +17,9 @@ package commit
 
 import (
 	"fmt"
-	"sort"
 
 	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/types"
 )
 
@@ -206,11 +206,7 @@ func NewCoordinator(id types.NodeID, proto Protocol) *Coordinator {
 
 // Begin starts a transaction across the cohorts named in ops.
 func (c *Coordinator) Begin(tx TxID, ops map[types.NodeID]types.Value) {
-	cohorts := make([]types.NodeID, 0, len(ops))
-	for id := range ops {
-		cohorts = append(cohorts, id)
-	}
-	sort.Slice(cohorts, func(i, j int) bool { return cohorts[i] < cohorts[j] })
+	cohorts := det.SortedKeys(ops)
 	ct := &coordTx{
 		txn:      &Txn{ID: tx, Ops: ops},
 		cohorts:  cohorts,
@@ -311,7 +307,8 @@ func (c *Coordinator) decide(ct *coordTx, o Outcome) {
 // rest) — we follow the conservative route and re-send pre-commits.
 func (c *Coordinator) Tick() {
 	c.now++
-	for _, ct := range c.txns {
+	for _, tx := range det.SortedKeys(c.txns) {
+		ct := c.txns[tx]
 		if c.now < ct.deadline {
 			continue
 		}
@@ -534,7 +531,8 @@ func (h *Cohort) maybeTerminate(tx TxID, t *cohortTx) {
 func (h *Cohort) Tick() {
 	h.now++
 	h.blocked = 0
-	for tx, t := range h.txns {
+	for _, tx := range det.SortedKeys(h.txns) {
+		t := h.txns[tx]
 		if t.state != stPrepared && t.state != stPreCommitted {
 			continue
 		}

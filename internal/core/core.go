@@ -14,8 +14,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+
+	"fortyconsensus/internal/det"
 )
 
 // Synchrony is the paper's first aspect.
@@ -217,10 +218,9 @@ func Lookup(name string) (Profile, bool) {
 // All returns every registered profile sorted by name.
 func All() []Profile {
 	out := make([]Profile, 0, len(registry))
-	for _, p := range registry {
-		out = append(out, p)
+	for _, name := range det.SortedKeys(registry) {
+		out = append(out, registry[name])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 

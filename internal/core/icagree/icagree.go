@@ -13,6 +13,7 @@
 package icagree
 
 import (
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/simnet"
 	"fortyconsensus/internal/types"
 )
@@ -63,7 +64,8 @@ func Run(procs []*Process) map[types.NodeID]Result {
 	for _, from := range procs {
 		for _, to := range procs {
 			relay := make(map[types.NodeID]string, len(procs))
-			for id, v := range received1[from.ID] {
+			for _, id := range det.SortedKeys(received1[from.ID]) {
+				v := received1[from.ID][id]
 				if from.Lie != nil {
 					v = from.Lie(2, to.ID, id, v)
 				}
@@ -116,6 +118,7 @@ func Run(procs []*Process) map[types.NodeID]Result {
 }
 
 func majority(counts map[string]int, votes int) string {
+	//lint:allow maporder at most one value can hold a strict majority, so the returned winner is order-independent
 	for v, c := range counts {
 		if 2*c > votes {
 			return v

@@ -1,0 +1,41 @@
+// Package det holds the deterministic-iteration helpers the rest of the
+// tree uses to range over maps in a reproducible order. Go randomises
+// map iteration on purpose; the simulation's determinism contract
+// (DESIGN.md, "Determinism contract") therefore requires every
+// order-sensitive sweep over a map — anything that emits messages,
+// appends to a slice, or mutates ordered state — to iterate sorted keys
+// instead. These helpers are the audited way to do that: the one
+// map-range they contain is provably order-insensitive because the keys
+// are sorted before anything observes them, and `consensus-lint`'s
+// maporder analyzer pushes every other package through here.
+package det
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order. The result is a fresh
+// slice; callers may mutate it freely.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	//lint:allow maporder keys are collected then sorted before anything observes their order
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// SortedKeysFunc returns m's keys ordered by the three-way comparison
+// function cmp (negative when a < b, as in slices.SortFunc). cmp must
+// define a strict total order or the result is not deterministic.
+func SortedKeysFunc[K comparable, V any](m map[K]V, cmp func(K, K) int) []K {
+	keys := make([]K, 0, len(m))
+	//lint:allow maporder keys are collected then sorted before anything observes their order
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, cmp)
+	return keys
+}

@@ -1,0 +1,52 @@
+package det
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b", 10: "j", -4: "x"}
+	want := []int{-4, 1, 2, 3, 10}
+	for trial := 0; trial < 50; trial++ {
+		got := SortedKeys(m)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSortedKeysEmpty(t *testing.T) {
+	if got := SortedKeys(map[string]int{}); len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+	if got := SortedKeysFunc(map[[4]byte]int{}, func(a, b [4]byte) int { return bytes.Compare(a[:], b[:]) }); len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	m := map[[4]byte]int{
+		{9, 0, 0, 0}: 1,
+		{0, 0, 0, 1}: 2,
+		{0, 0, 0, 0}: 3,
+		{0, 7, 0, 0}: 4,
+	}
+	want := [][4]byte{{0, 0, 0, 0}, {0, 0, 0, 1}, {0, 7, 0, 0}, {9, 0, 0, 0}}
+	for trial := 0; trial < 50; trial++ {
+		got := SortedKeysFunc(m, func(a, b [4]byte) int { return bytes.Compare(a[:], b[:]) })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+			}
+		}
+	}
+}

@@ -35,9 +35,9 @@ func init() {
 		Failure:      core.Crash,
 		Strategy:     core.Optimistic,
 		Awareness:    core.KnownParticipants,
-		NodesFor:     func(f int) int { return 3*f + 1 },
+		NodesFor:     func(f int) int { return quorum.Fast{F: f}.Size() },
 		NodesFormula: "3f+1",
-		QuorumFor:    func(f int) int { return 2*f + 1 },
+		QuorumFor:    func(f int) int { return quorum.Fast{F: f}.Threshold() },
 		CommitPhases: 1,
 		AltPhases:    3,
 		Complexity:   core.Linear,
@@ -113,10 +113,10 @@ func (c Config) withDefaults() Config {
 }
 
 // N returns the acceptor count.
-func (c Config) N() int { return 3*c.F + 1 }
+func (c Config) N() int { return quorum.Fast{F: c.F}.Size() }
 
 // Quorum returns the (fast and classic) quorum size 2f+1.
-func (c Config) Quorum() int { return 2*c.F + 1 }
+func (c Config) Quorum() int { return quorum.Fast{F: c.F}.Threshold() }
 
 // fastBallot is the implicit ballot of the standing fast round.
 var fastBallot = types.Ballot{}

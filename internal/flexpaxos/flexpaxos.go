@@ -17,9 +17,8 @@ package flexpaxos
 
 import (
 	"fmt"
-	"sort"
-
 	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/quorum"
 	"fortyconsensus/internal/simnet"
 	"fortyconsensus/internal/types"
@@ -32,7 +31,7 @@ func init() {
 		Failure:              core.Crash,
 		Strategy:             core.Pessimistic,
 		Awareness:            core.KnownParticipants,
-		NodesFor:             func(f int) int { return 2*f + 1 },
+		NodesFor:             func(f int) int { return quorum.MajorityFor(f).Size() },
 		NodesFormula:         "2f+1 (Q1+Q2 > N)",
 		QuorumFor:            func(f int) int { return f + 1 },
 		CommitPhases:         1,
@@ -318,10 +317,10 @@ func (n *Node) onPrepare(m Message) {
 		// chosen by a small Q2 quorum is only guaranteed visible through
 		// the accepted entry of some Q1∩Q2 intersection node.
 		entries := make([]Entry, 0, len(n.accepted))
-		for s, e := range n.accepted {
+		for _, s := range det.SortedKeys(n.accepted) {
+			e := n.accepted[s]
 			entries = append(entries, Entry{Slot: s, AcceptNum: e.num, Val: e.val.Clone()})
 		}
-		sort.Slice(entries, func(i, j int) bool { return entries[i].Slot < entries[j].Slot })
 		n.send(Message{Kind: MsgAck, To: m.From, Ballot: m.Ballot, Entries: entries})
 		return
 	}
@@ -351,12 +350,11 @@ func (n *Node) becomeLeader() {
 	n.inflight = make(map[types.Seq]*slotState)
 	n.nextSlot = n.commitSeq + 1
 	slots := make([]types.Seq, 0, len(n.recovered))
-	for s := range n.recovered {
+	for _, s := range det.SortedKeys(n.recovered) {
 		if s > n.commitSeq {
 			slots = append(slots, s)
 		}
 	}
-	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
 	for _, s := range slots {
 		if s >= n.nextSlot {
 			n.nextSlot = s + 1

@@ -2,6 +2,7 @@ package hotstuff
 
 import (
 	"fortyconsensus/internal/chaincrypto"
+	"fortyconsensus/internal/quorum"
 	"fortyconsensus/internal/runner"
 	"fortyconsensus/internal/simnet"
 	"fortyconsensus/internal/smr"
@@ -18,7 +19,7 @@ type Cluster struct {
 
 // NewCluster builds a 3f+1 replica cluster sharing one keyring.
 func NewCluster(f int, fabric *simnet.Fabric, cfg Config, newSM func() smr.StateMachine) *Cluster {
-	n := 3*f + 1
+	n := quorum.Byzantine{F: f}.Size()
 	cfg.N, cfg.F = n, f
 	if cfg.Keyring == nil {
 		cfg.Keyring = chaincrypto.NewKeyring(n, 0x40757ff)

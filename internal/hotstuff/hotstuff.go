@@ -26,6 +26,7 @@ import (
 
 	"fortyconsensus/internal/chaincrypto"
 	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/quorum"
 	"fortyconsensus/internal/types"
 )
 
@@ -36,9 +37,9 @@ func init() {
 		Failure:              core.Byzantine,
 		Strategy:             core.Pessimistic,
 		Awareness:            core.KnownParticipants,
-		NodesFor:             func(f int) int { return 3*f + 1 },
+		NodesFor:             func(f int) int { return quorum.Byzantine{F: f}.Size() },
 		NodesFormula:         "3f+1",
-		QuorumFor:            func(f int) int { return 2*f + 1 },
+		QuorumFor:            func(f int) int { return quorum.Byzantine{F: f}.Threshold() },
 		CommitPhases:         7,
 		Complexity:           core.Linear,
 		ViewChangeComplexity: core.Linear,
@@ -174,7 +175,7 @@ type Replica struct {
 func NewReplica(id types.NodeID, cfg Config) *Replica {
 	cfg = cfg.withDefaults()
 	if cfg.N == 0 {
-		cfg.N = 3*cfg.F + 1
+		cfg.N = quorum.Byzantine{F: cfg.F}.Size()
 	}
 	if cfg.Keyring == nil {
 		cfg.Keyring = chaincrypto.NewKeyring(cfg.N, 0x40757ff)
@@ -196,7 +197,7 @@ func NewReplica(id types.NodeID, cfg Config) *Replica {
 	return r
 }
 
-func (r *Replica) quorum() int { return 2*r.cfg.F + 1 }
+func (r *Replica) quorum() int { return quorum.Byzantine{F: r.cfg.F}.Threshold() }
 
 func (r *Replica) leaderOf(v types.View) types.NodeID { return v.Primary(r.cfg.N) }
 

@@ -1,0 +1,72 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"fortyconsensus/internal/lint/analysis"
+)
+
+// retAnalyzer flags every return statement, giving the driver test a
+// deterministic stream of diagnostics to suppress.
+var retAnalyzer = &analysis.Analyzer{
+	Name: "retstmt",
+	Doc:  "flag every return statement (driver test fixture)",
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					pass.Reportf(r.Pos(), "return statement")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func TestDirectiveValidationAndSuppression(t *testing.T) {
+	loader := analysis.NewLoader("", "")
+	pkg, err := loader.LoadDir("testdata/src/bad", "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, retAnalyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	want := []string{
+		"names no check",    // //lint:allow with nothing after it
+		"carries no reason", // //lint:allow somecheck
+		"return statement",  // Uncovered's return survives
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics %q, want %d", len(diags), got, len(want))
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q in %q", w, got)
+		}
+	}
+	// The suppressed return must be Covered's, i.e. the surviving
+	// return diagnostic sits in Uncovered (line 18).
+	for _, d := range diags {
+		if strings.Contains(d.Message, "return statement") {
+			if line := pkg.Fset.Position(d.Pos).Line; line != 18 {
+				t.Errorf("surviving return diagnostic at line %d, want 18 (Uncovered)", line)
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path the package was loaded under.
+	Path string
+	// Dir is the directory its sources were read from.
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// A Loader parses and type-checks packages without the go/packages
+// machinery: module-internal imports resolve against the module tree on
+// disk, everything else falls back to the standard library's
+// from-source importer, so loading works offline and without build
+// artifacts. Test files (_test.go) are excluded — the determinism
+// contract governs production protocol code.
+//
+// Every module package is loaded exactly once and cached, whether it
+// is a lint target or a dependency, so all packages in one Loader
+// agree on type identity.
+type Loader struct {
+	// Fset positions every file the loader touches.
+	Fset *token.FileSet
+	// ModulePath/ModuleDir map module-internal import paths to
+	// directories; empty ModulePath disables module resolution (used
+	// by analyzer fixtures, which import only the standard library).
+	ModulePath string
+	ModuleDir  string
+
+	std   types.Importer
+	cache map[string]*Package
+}
+
+// NewLoader returns a loader for the module rooted at moduleDir.
+func NewLoader(modulePath, moduleDir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modulePath,
+		ModuleDir:  moduleDir,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      make(map[string]*Package),
+	}
+}
+
+// LoadDir parses and type-checks the single package in dir, recording
+// it under importPath, with full type information for analysis.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if p, ok := l.cache[importPath]; ok {
+		return p, nil
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: importerFunc(l.importPath)}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	pkg := &Package{
+		Path:      importPath,
+		Dir:       dir,
+		Fset:      l.Fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.cache[importPath] = pkg
+	return pkg, nil
+}
+
+// importPath resolves one import for the type checker: module-internal
+// paths load (and cache) from the module tree, the rest go to the
+// standard-library source importer.
+func (l *Loader) importPath(path string) (*types.Package, error) {
+	if l.ModulePath != "" && (path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")) {
+		dir := filepath.Join(l.ModuleDir, strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/"))
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// parseDir parses every non-test .go file in dir, in name order so
+// positions (and therefore diagnostic order) are stable.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go source in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

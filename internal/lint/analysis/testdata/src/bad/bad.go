@@ -1,0 +1,19 @@
+// Package bad exercises the driver's directive validation: directives
+// with no check name or no reason are findings, and well-formed
+// directives suppress on their line or the line below.
+package bad
+
+//lint:allow
+var A = 1
+
+//lint:allow somecheck
+var B = 2
+
+func Covered() int {
+	//lint:allow retstmt the test analyzer flags every return; this one is deliberately waived
+	return A + B
+}
+
+func Uncovered() int {
+	return A
+}

@@ -1,0 +1,253 @@
+// Package maporder implements the map-iteration-order analyzer. Go
+// randomises map iteration, so a `range` over a map whose body has
+// order-sensitive effects — emitting messages, appending to a slice
+// that outlives the loop, writing into ordered state, or early-exiting
+// with a captured element — produces a different outcome each run and
+// breaks the byte-for-byte golden artifacts.
+//
+// The analyzer flags such loops at the `for` keyword. The fix is to
+// iterate sorted keys (det.SortedKeys / det.SortedKeysFunc, which turn
+// the statement into a range over a slice the analyzer ignores); loops
+// whose effects are provably commutative — pure counting, any-match
+// predicates that trigger a single order-independent action — carry
+// //lint:allow maporder <reason> instead.
+//
+// Effects that do NOT flag a loop, because they are order-insensitive
+// by construction: per-key writes and deletes on maps (the ranged map
+// or any other), commutative numeric accumulation (x++, x += v),
+// scalar/field assignment without early exit (max-tracking), locals
+// that die with the iteration, and bare or constant-only early
+// returns (existence checks).
+package maporder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fortyconsensus/internal/lint/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map loops with order-sensitive effects (message emission, appends, ordered-state writes, early-exit captures)",
+	Run:  run,
+}
+
+// pureBuiltins never make an iteration order observable on their own.
+// append and delete are judged in context; panic and print are
+// deliberately absent (their payload/order is observable).
+var pureBuiltins = map[string]bool{
+	"len": true, "cap": true, "make": true, "new": true,
+	"copy": true, "min": true, "max": true, "delete": true,
+	"append": true, "real": true, "imag": true, "complex": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if effects := scan(pass, rs); len(effects) > 0 {
+				pass.Reportf(rs.Pos(), "range over map %s is order-sensitive: %s (iterate det.SortedKeys* or annotate //lint:allow maporder <reason>)",
+					types.ExprString(rs.X), strings.Join(effects, "; "))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// scan walks one range-over-map body and classifies its effects.
+func scan(pass *analysis.Pass, rs *ast.RangeStmt) []string {
+	var effects []string
+	var captures []string // loop-derived writes to outer vars; only an effect with early exit
+	earlyExit := false
+
+	// loopLocal: declared by the range clause or inside the body, so it
+	// dies with the iteration.
+	loopLocal := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+	}
+	// tainted: the expression's value depends on which/whose iteration
+	// computed it (references a loop-local variable).
+	tainted := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; loopLocal(obj) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion, pure
+			}
+			if id := calleeIdent(n.Fun); id != nil {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					if !pureBuiltins[b.Name()] {
+						effects = append(effects, fmt.Sprintf("calls %s", b.Name()))
+					}
+					return true
+				}
+			}
+			effects = append(effects, fmt.Sprintf("calls %s", types.ExprString(n.Fun)))
+		case *ast.SendStmt:
+			effects = append(effects, "sends on a channel")
+		case *ast.GoStmt:
+			effects = append(effects, "spawns a goroutine")
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				classifyWrite(pass, n, i, lhs, loopLocal, tainted, &effects, &captures)
+			}
+		case *ast.ReturnStmt:
+			earlyExit = true
+			for _, res := range n.Results {
+				if tainted(res) {
+					effects = append(effects, fmt.Sprintf("returns loop-dependent value %s", types.ExprString(res)))
+					break
+				}
+			}
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				earlyExit = true
+			}
+		}
+		return true
+	})
+
+	if earlyExit && len(captures) > 0 {
+		effects = append(effects, fmt.Sprintf("captures %s before an early exit (first match depends on iteration order)",
+			strings.Join(captures, ", ")))
+	}
+	return effects
+}
+
+// classifyWrite judges one assignment target inside the loop body.
+func classifyWrite(pass *analysis.Pass, as *ast.AssignStmt, i int, lhs ast.Expr,
+	loopLocal func(types.Object) bool, tainted func(ast.Expr) bool,
+	effects, captures *[]string) {
+
+	// RHS for non-tuple assignments; tuple (ok-form) RHS is judged as a
+	// whole via the first expression.
+	var rhs ast.Expr
+	if len(as.Rhs) == len(as.Lhs) {
+		rhs = as.Rhs[i]
+	} else if len(as.Rhs) == 1 {
+		rhs = as.Rhs[0]
+	}
+
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Defs[l]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[l]
+		}
+		if loopLocal(obj) {
+			return
+		}
+		// Appends that grow an outer slice record iteration order in
+		// element order, whatever the appended values are.
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if id := calleeIdent(call.Fun); id != nil {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					*effects = append(*effects, fmt.Sprintf("appends to %s, which outlives the loop", l.Name))
+					return
+				}
+			}
+		}
+		// Commutative numeric accumulation.
+		if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN ||
+			as.Tok == token.OR_ASSIGN || as.Tok == token.AND_ASSIGN || as.Tok == token.XOR_ASSIGN {
+			if obj != nil {
+				if basic, ok := obj.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsNumeric != 0 {
+					return
+				}
+			}
+			*effects = append(*effects, fmt.Sprintf("accumulates non-numeric state in %s (op %s is order-sensitive)", l.Name, as.Tok))
+			return
+		}
+		if rhs != nil && tainted(rhs) {
+			*captures = append(*captures, l.Name)
+		}
+	case *ast.IndexExpr:
+		base := pass.TypesInfo.TypeOf(l.X)
+		if base == nil {
+			return
+		}
+		switch base.Underlying().(type) {
+		case *types.Map:
+			return // per-key map writes commute across iteration orders
+		case *types.Slice, *types.Array:
+			if id, ok := rootIdent(l.X); ok && loopLocal(pass.TypesInfo.Uses[id]) {
+				return // the slice dies with the iteration
+			}
+			*effects = append(*effects, fmt.Sprintf("writes ordered state %s", types.ExprString(l)))
+		}
+	case *ast.SelectorExpr:
+		// Field writes: fine on loop-local values (including the map's
+		// *T elements — per-key), a capture on outer state.
+		if id, ok := rootIdent(l.X); ok {
+			obj := pass.TypesInfo.Uses[id]
+			if loopLocal(obj) {
+				return
+			}
+		}
+		if rhs != nil && tainted(rhs) {
+			*captures = append(*captures, types.ExprString(l))
+		}
+	case *ast.StarExpr:
+		if rhs != nil && tainted(rhs) {
+			*captures = append(*captures, types.ExprString(l))
+		}
+	}
+}
+
+// calleeIdent unwraps the identifier a call resolves through, if any.
+func calleeIdent(fun ast.Expr) *ast.Ident {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f
+	case *ast.ParenExpr:
+		return calleeIdent(f.X)
+	}
+	return nil
+}
+
+// rootIdent digs to the base identifier of a selector/index chain.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}

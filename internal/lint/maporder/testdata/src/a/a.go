@@ -1,0 +1,125 @@
+// Package a exercises the maporder analyzer: order-sensitive sweeps
+// (hits), provably commutative sweeps (non-hits), and suppression.
+package a
+
+type msg struct{ to int }
+
+type node struct {
+	out     []msg
+	pending map[int]string
+	done    map[int]bool
+	count   int
+}
+
+func (n *node) send(m msg) { n.out = append(n.out, m) }
+
+// Hit: emitting messages in map order.
+func (n *node) emitAll() {
+	for d := range n.pending { // want "order-sensitive: calls n.send"
+		n.send(msg{to: d})
+	}
+}
+
+// Hit: appending to a slice that outlives the loop records the
+// iteration order in element order.
+func (n *node) collect() []int {
+	var keys []int
+	for k := range n.pending { // want "appends to keys, which outlives the loop"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Hit: first returned element depends on iteration order.
+func (n *node) pick() int {
+	for k := range n.pending { // want "returns loop-dependent value k"
+		return k
+	}
+	return -1
+}
+
+// Hit: capture plus early exit is the pick-any idiom.
+func (n *node) pickVar() int {
+	chosen := -1
+	for k := range n.pending { // want "captures chosen before an early exit"
+		chosen = k
+		break
+	}
+	return chosen
+}
+
+// Hit: writing through an index into ordered state.
+func (n *node) fill(dst []string) {
+	for k, v := range n.pending { // want "writes ordered state dst"
+		if k < len(dst) {
+			dst[k] = v
+		}
+	}
+}
+
+// Non-hit: per-key writes into maps commute across iteration orders.
+func (n *node) refresh() {
+	for k, v := range n.pending {
+		n.pending[k] = v + "!"
+		n.done[k] = true
+	}
+}
+
+// Non-hit: commutative numeric accumulation.
+func (n *node) tally() int {
+	total := 0
+	for _, v := range n.pending {
+		total += len(v)
+		n.count++
+	}
+	return total
+}
+
+// Non-hit: existence check; a constant-only early return is the same
+// whichever element matches first.
+func (n *node) has(pred string) bool {
+	for _, v := range n.pending {
+		if v == pred {
+			return true
+		}
+	}
+	return false
+}
+
+// Non-hit: max-tracking without early exit commutes.
+func (n *node) maxKey() int {
+	best := -1
+	for k := range n.pending {
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+// Non-hit: pruning the ranged map is a per-key delete.
+func (n *node) prune() {
+	for k := range n.pending {
+		if k < 0 {
+			delete(n.pending, k)
+		}
+	}
+}
+
+// Non-hit: locals die with the iteration.
+func (n *node) locals() {
+	for k, v := range n.pending {
+		tmp := []int{k}
+		s := v + "!"
+		_ = tmp
+		_ = s
+	}
+}
+
+// Suppressed: the annotation carries the correctness argument.
+func (n *node) emitSuppressed() {
+	//lint:allow maporder fixture proves suppression is honored
+	for d := range n.pending {
+		n.send(msg{to: d})
+	}
+}

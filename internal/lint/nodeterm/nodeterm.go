@@ -1,0 +1,130 @@
+// Package nodeterm implements the determinism-contract analyzer for
+// protocol packages: replica logic must be a pure function of the
+// simnet clock and the seeded RNG, so every artifact regenerates
+// byte-for-byte (the golden suite in internal/experiments). The
+// analyzer forbids, anywhere in a protocol package:
+//
+//   - wall-clock reads and timers (time.Now, time.Since, time.Sleep,
+//     timer/ticker constructors) — simulated time is an integer tick
+//     handed in by the runner;
+//   - the global math/rand generator (rand.Intn and friends) — a
+//     seeded *rand.Rand threaded through the harness is fine,
+//     rand.New/rand.NewSource are the allowed constructors;
+//   - crypto/rand entirely — key material is derived from seeds;
+//   - environment reads (os.Getenv etc.) — configuration flows through
+//     Config structs so a run is reproducible from its parameters;
+//   - go statements and every channel operation (send, receive,
+//     select, close, range-over-channel) — scheduling order must come
+//     from the deterministic event loop, never the Go scheduler.
+//
+// Provably harmless exceptions carry //lint:allow nodeterm <reason>.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fortyconsensus/internal/lint/analysis"
+)
+
+// Analyzer is the nodeterm check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterm",
+	Doc:  "forbid wall-clock, global randomness, env reads, goroutines and channels in protocol packages",
+	Run:  run,
+}
+
+// wallClock are the time package functions that read or schedule on
+// real time. Duration arithmetic and constants stay legal.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// globalRand are the math/rand package-level functions driven by the
+// shared global Source. Constructors for an explicitly seeded
+// generator (New, NewSource, NewZipf) are the sanctioned alternative.
+var globalRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Read": true, "Seed": true, "N": true, "IntN": true,
+	"Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
+}
+
+// envReads are the os functions that smuggle host state into a run.
+var envReads = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"crypto/rand"` {
+				pass.Reportf(imp.Pos(), "crypto/rand is nondeterministic; derive key material from the run seed instead")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement hands scheduling to the Go runtime; protocol steps must run on the deterministic event loop")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in protocol code; message flow must go through the replica's outbound queue")
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					pass.Reportf(n.Pos(), "channel receive in protocol code; inputs must arrive via Step/Tick from the event loop")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select races goroutines against each other; protocol code must stay single-threaded and deterministic")
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(), "range over channel in protocol code; inputs must arrive via Step/Tick from the event loop")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCall flags calls to the forbidden standard-library functions.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		// close(ch) is the only forbidden non-selector call.
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+				pass.Reportf(call.Pos(), "close on a channel in protocol code")
+			}
+		}
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClock[fn.Name()] {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock; protocol code must use the simulated tick passed in by the runner", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRand[fn.Name()] {
+			pass.Reportf(call.Pos(), "rand.%s uses the global generator; thread a seeded *rand.Rand through the config instead", fn.Name())
+		}
+	case "os":
+		if envReads[fn.Name()] {
+			pass.Reportf(call.Pos(), "os.%s reads host environment; configuration must flow through Config so runs are reproducible", fn.Name())
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"fortyconsensus/internal/lint/analysistest"
+	"fortyconsensus/internal/lint/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	analysistest.Run(t, "testdata", nodeterm.Analyzer, "a")
+}

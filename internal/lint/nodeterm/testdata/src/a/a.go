@@ -1,0 +1,72 @@
+// Package a exercises the nodeterm analyzer: hits, non-hits, and
+// suppression.
+package a
+
+import (
+	crand "crypto/rand" // want "crypto/rand is nondeterministic"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()             // want "time.Now reads the wall clock"
+	d := time.Since(t0)          // want "time.Since reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	return d
+}
+
+// Duration arithmetic and constants stay legal.
+func durations() time.Duration { return 5 * time.Second }
+
+func randomness(r *rand.Rand) int {
+	n := rand.Intn(10)                            // want "rand.Intn uses the global generator"
+	rand.Shuffle(n, func(i, j int) {})            // want "rand.Shuffle uses the global generator"
+	return n + r.Intn(10) + int(rand.Int63n(100)) // want "rand.Int63n uses the global generator"
+}
+
+// Constructing an explicitly seeded generator is the sanctioned path.
+func seeded() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+func keyMaterial() []byte {
+	b := make([]byte, 16)
+	_, _ = crand.Read(b)
+	return b
+}
+
+func env() string {
+	return os.Getenv("HOME") // want "os.Getenv reads host environment"
+}
+
+func goroutines(ch chan int) int {
+	go func() {}()      // want "go statement hands scheduling to the Go runtime"
+	ch <- 1             // want "channel send in protocol code"
+	v := <-ch           // want "channel receive in protocol code"
+	for w := range ch { // want "range over channel in protocol code"
+		v += w
+	}
+	close(ch) // want "close on a channel in protocol code"
+	return v
+}
+
+func selects() {
+	select {} // want "select races goroutines against each other"
+}
+
+// Deterministic state machinery stays legal: plain maps, slices, the
+// simulated clock as an integer.
+type replica struct {
+	now     int
+	pending map[int]string
+}
+
+func (r *replica) tick() { r.now++ }
+
+func suppressedSameLine() {
+	_ = time.Now() //lint:allow nodeterm fixture proves same-line suppression is honored
+}
+
+func suppressedLineAbove() {
+	//lint:allow nodeterm fixture proves line-above suppression is honored
+	_ = time.Now()
+}

@@ -1,0 +1,118 @@
+// Package quorumlit implements the hand-rolled-quorum-arithmetic
+// analyzer. Threshold math is where consensus safety lives — a single
+// off-by-one (2f instead of 2f+1) silently voids quorum intersection —
+// so the repo concentrates every formula in internal/quorum, where the
+// property-based tests prove intersection once for all protocols. This
+// analyzer flags the literal forms the paper's fact boxes use when they
+// appear anywhere else:
+//
+//	n/2 + 1          majority              → quorum.Majority
+//	2f + 1           majority size / BFT   → quorum.MajorityFor,
+//	                 threshold               quorum.Byzantine.Threshold
+//	3f + 1           BFT cluster size      → quorum.Byzantine.Size
+//	3m + 2c + 1      hybrid cluster size   → quorum.Hybrid.Size
+//	2m + c + 1       hybrid threshold      → quorum.Hybrid.Threshold
+//
+// The matcher: a top-level sum with exactly one literal 1, at least one
+// term that multiplies by constant 2 or 3 (or divides by 2), and no
+// other constant terms. Timeout arithmetic like now + 2*reqTimeout has
+// no +1 term and never matches.
+package quorumlit
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"fortyconsensus/internal/lint/analysis"
+)
+
+// Analyzer is the quorumlit check.
+var Analyzer = &analysis.Analyzer{
+	Name: "quorumlit",
+	Doc:  "flag hand-rolled quorum arithmetic (n/2+1, 2f+1, 3f+1, 3m+2c+1, …) outside internal/quorum",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || be.Op != token.ADD {
+				return true
+			}
+			if match(pass, be) {
+				pass.Reportf(be.Pos(), "hand-rolled quorum arithmetic %s; route thresholds through internal/quorum so intersection stays proved in one place",
+					types.ExprString(be))
+				return false // don't re-match subexpressions
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// match reports whether the flattened sum looks like quorum arithmetic.
+func match(pass *analysis.Pass, sum *ast.BinaryExpr) bool {
+	var terms []ast.Expr
+	flattenAdd(sum, &terms)
+
+	ones, scaled, bare := 0, 0, 0
+	for _, t := range terms {
+		switch {
+		case isConst(pass, t, 1):
+			ones++
+		case isScaledTerm(pass, t):
+			scaled++
+		case isConstExpr(pass, t):
+			return false // other constants: not one of the known forms
+		default:
+			bare++
+		}
+	}
+	_ = bare // bare non-constant terms (the c in 2m+c+1) are fine
+	return ones == 1 && scaled >= 1
+}
+
+// flattenAdd collects the terms of a left-leaning + chain.
+func flattenAdd(e ast.Expr, out *[]ast.Expr) {
+	if be, ok := ast.Unparen(e).(*ast.BinaryExpr); ok && be.Op == token.ADD {
+		flattenAdd(be.X, out)
+		flattenAdd(be.Y, out)
+		return
+	}
+	*out = append(*out, ast.Unparen(e))
+}
+
+// isScaledTerm matches 2*x, 3*x, x*2, x*3 and x/2 for non-constant x.
+func isScaledTerm(pass *analysis.Pass, e ast.Expr) bool {
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.MUL:
+		return (isConst(pass, be.X, 2) || isConst(pass, be.X, 3)) && !isConstExpr(pass, be.Y) ||
+			(isConst(pass, be.Y, 2) || isConst(pass, be.Y, 3)) && !isConstExpr(pass, be.X)
+	case token.QUO:
+		return isConst(pass, be.Y, 2) && !isConstExpr(pass, be.X)
+	}
+	return false
+}
+
+// isConst reports whether e is an integer constant equal to want.
+func isConst(pass *analysis.Pass, e ast.Expr, want int64) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return exact && v == want
+}
+
+// isConstExpr reports whether e is any compile-time constant.
+func isConstExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.Value != nil
+}

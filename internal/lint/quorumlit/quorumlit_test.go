@@ -1,0 +1,12 @@
+package quorumlit_test
+
+import (
+	"testing"
+
+	"fortyconsensus/internal/lint/analysistest"
+	"fortyconsensus/internal/lint/quorumlit"
+)
+
+func TestQuorumlit(t *testing.T) {
+	analysistest.Run(t, "testdata", quorumlit.Analyzer, "a")
+}

@@ -1,0 +1,28 @@
+// Package a exercises the quorumlit analyzer: the paper's literal
+// quorum forms (hits), innocent arithmetic (non-hits), and suppression.
+package a
+
+func majoritySize(f int) int    { return 2*f + 1 }       // want "hand-rolled quorum arithmetic 2 \\* f \\+ 1"
+func bftSize(f int) int         { return 3*f + 1 }       // want "hand-rolled quorum arithmetic"
+func majority(n int) int        { return n/2 + 1 }       // want "hand-rolled quorum arithmetic"
+func hybridSize(m, c int) int   { return 3*m + 2*c + 1 } // want "hand-rolled quorum arithmetic"
+func hybridQuorum(m, c int) int { return 2*m + c + 1 }   // want "hand-rolled quorum arithmetic"
+func reversed(f int) int        { return f*2 + 1 }       // want "hand-rolled quorum arithmetic"
+
+type cfg struct{ F int }
+
+func fieldForm(c cfg) int { return 2*c.F + 1 } // want "hand-rolled quorum arithmetic"
+
+// Non-hits.
+func fPlusOne(f int) int      { return f + 1 }
+func timeout(now, rt int) int { return now + 2*rt }
+func double(x int) int        { return 2 * x }
+func constSum() int           { return 2*3 + 1 } // all-constant: not quorum math
+func noOne(f int) int         { return 2*f + 2 }
+func deadline(v, rt int) int  { return v + 2*rt + 4 }
+
+// Suppressed.
+func annotated(f int) int {
+	//lint:allow quorumlit fixture proves suppression is honored
+	return 2*f + 1
+}

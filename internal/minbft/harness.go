@@ -1,6 +1,7 @@
 package minbft
 
 import (
+	"fortyconsensus/internal/quorum"
 	"fortyconsensus/internal/runner"
 	"fortyconsensus/internal/simnet"
 	"fortyconsensus/internal/smr"
@@ -17,7 +18,7 @@ type Cluster struct {
 
 // NewCluster builds a 2f+1 replica cluster; newSM may be nil.
 func NewCluster(f int, fabric *simnet.Fabric, cfg Config, newSM func() smr.StateMachine) *Cluster {
-	n := 2*f + 1
+	n := quorum.Trusted{F: f}.Size()
 	cfg.N, cfg.F = n, f
 	rc := runner.New(runner.Config[Message]{Fabric: fabric, Dest: Dest, Src: Src, Kind: Kind})
 	c := &Cluster{Cluster: rc, F: f}

@@ -22,10 +22,10 @@ package minbft
 
 import (
 	"fmt"
-	"sort"
 
 	"fortyconsensus/internal/chaincrypto"
 	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/quorum"
 	"fortyconsensus/internal/trustedhw"
 	"fortyconsensus/internal/types"
@@ -38,7 +38,7 @@ func init() {
 		Failure:              core.Hybrid,
 		Strategy:             core.Pessimistic,
 		Awareness:            core.KnownParticipants,
-		NodesFor:             func(f int) int { return 2*f + 1 },
+		NodesFor:             func(f int) int { return quorum.Trusted{F: f}.Size() },
 		NodesFormula:         "2f+1",
 		QuorumFor:            func(f int) int { return f + 1 },
 		CommitPhases:         2,
@@ -186,7 +186,7 @@ type pend struct {
 func NewReplica(id types.NodeID, cfg Config) *Replica {
 	cfg = cfg.withDefaults()
 	if cfg.N == 0 {
-		cfg.N = 2*cfg.F + 1
+		cfg.N = quorum.Trusted{F: cfg.F}.Size()
 	}
 	return &Replica{
 		id:      id,
@@ -436,12 +436,11 @@ func (r *Replica) startViewChange(target types.View) {
 	r.viewChanges++
 	r.vcTarget = target
 	entries := make([]Entry, 0, len(r.slots))
-	for seq, s := range r.slots {
-		if seq > r.exec && s.req != nil {
+	for _, seq := range det.SortedKeys(r.slots) {
+		if s := r.slots[seq]; seq > r.exec && s.req != nil {
 			entries = append(entries, Entry{Seq: seq, Req: s.req.Clone()})
 		}
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Seq < entries[j].Seq })
 	vc := Message{Kind: MsgViewChange, View: target, Executed: r.exec, Entries: entries}
 	r.record(target, r.id, vc)
 	r.certifyAndBroadcast(vc)
@@ -509,11 +508,7 @@ func (r *Replica) emitNewView(v types.View, votes map[types.NodeID]Message) {
 			}
 		}
 	}
-	seqs := make([]types.Seq, 0, len(merged))
-	for s := range merged {
-		seqs = append(seqs, s)
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	seqs := det.SortedKeys(merged)
 	entries := make([]Entry, 0, len(seqs))
 	for _, s := range seqs {
 		entries = append(entries, Entry{Seq: s, Req: merged[s].Clone()})
@@ -568,16 +563,7 @@ func (r *Replica) applyNewView(v types.View, entries []Entry) {
 				r.pending[d] = pend{req: e.Req.Clone(), since: r.now}
 			}
 		}
-		keys := make([]string, 0, len(r.pending))
-		byKey := map[string]chaincrypto.Digest{}
-		for d := range r.pending {
-			k := d.String()
-			keys = append(keys, k)
-			byKey[k] = d
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			d := byKey[k]
+		for _, d := range det.SortedKeysFunc(r.pending, chaincrypto.Digest.Compare) {
 			r.prepare(r.pending[d].req, d)
 		}
 	}
@@ -589,6 +575,7 @@ func (r *Replica) Tick() {
 	if r.viewChanging {
 		return
 	}
+	//lint:allow maporder any timed-out request triggers the same single view change; which fires first is immaterial
 	for _, p := range r.pending {
 		if r.now-p.since > r.cfg.RequestTimeout {
 			r.startViewChange(r.view + 1)

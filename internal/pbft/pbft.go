@@ -21,10 +21,10 @@ package pbft
 
 import (
 	"fmt"
-	"sort"
 
 	"fortyconsensus/internal/chaincrypto"
 	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/quorum"
 	"fortyconsensus/internal/types"
 )
@@ -36,9 +36,9 @@ func init() {
 		Failure:              core.Byzantine,
 		Strategy:             core.Pessimistic,
 		Awareness:            core.KnownParticipants,
-		NodesFor:             func(f int) int { return 3*f + 1 },
+		NodesFor:             func(f int) int { return quorum.Byzantine{F: f}.Size() },
 		NodesFormula:         "3f+1",
-		QuorumFor:            func(f int) int { return 2*f + 1 },
+		QuorumFor:            func(f int) int { return quorum.Byzantine{F: f}.Threshold() },
 		CommitPhases:         3,
 		Complexity:           core.Quadratic,
 		ViewChangeComplexity: core.Cubic,
@@ -209,7 +209,7 @@ type Replica struct {
 func NewReplica(id types.NodeID, cfg Config) *Replica {
 	cfg = cfg.withDefaults()
 	if cfg.N == 0 {
-		cfg.N = 3*cfg.F + 1
+		cfg.N = quorum.Byzantine{F: cfg.F}.Size()
 	}
 	if cfg.F == 0 && cfg.N > 1 {
 		cfg.F = (cfg.N - 1) / 3
@@ -233,7 +233,7 @@ type pendingReq struct {
 	since int
 }
 
-func (r *Replica) quorumSize() int { return 2*r.cfg.F + 1 }
+func (r *Replica) quorumSize() int { return quorum.Byzantine{F: r.cfg.F}.Threshold() }
 func (r *Replica) primary() types.NodeID {
 	return r.view.Primary(r.cfg.N)
 }
@@ -569,14 +569,13 @@ func (r *Replica) startViewChange(target types.View) {
 	r.targetView = target
 	r.vcDeadline = r.now + 2*r.cfg.RequestTimeout
 	var proofs []PreparedProof
-	for seq, s := range r.slots {
-		if s.prepared && seq > r.lastStable {
+	for _, seq := range det.SortedKeys(r.slots) {
+		if s := r.slots[seq]; s.prepared && seq > r.lastStable {
 			proofs = append(proofs, PreparedProof{
 				Seq: seq, View: s.preparedView, Digest: s.digest, Req: s.req.Clone(),
 			})
 		}
 	}
-	sort.Slice(proofs, func(i, j int) bool { return proofs[i].Seq < proofs[j].Seq })
 	vc := Message{Kind: MsgViewChange, View: target, LastStable: r.lastStable, Prepared: proofs}
 	r.broadcast(vc)
 	// Register own vote with the would-be primary (possibly self).
@@ -660,9 +659,10 @@ func (r *Replica) onNewView(m Message) {
 	}
 	r.enterView(m.View)
 	r.applyNewView(m.View, m.NewViewPP)
-	// Followers re-announce pending requests to the new primary.
-	for _, p := range r.pending {
-		r.send(Message{Kind: MsgRequest, To: r.primary(), Req: p.req.Clone()})
+	// Followers re-announce pending requests to the new primary, in
+	// digest order so every replica replays them identically.
+	for _, d := range det.SortedKeysFunc(r.pending, chaincrypto.Digest.Compare) {
+		r.send(Message{Kind: MsgRequest, To: r.primary(), Req: r.pending[d].req.Clone()})
 	}
 }
 
@@ -670,6 +670,7 @@ func (r *Replica) enterView(v types.View) {
 	r.view = v
 	r.viewChanging = false
 	// Reset per-view phase state for uncommitted slots.
+	//lint:allow maporder per-slot reset touches only that slot's tallies; no cross-slot state or emission
 	for _, s := range r.slots {
 		if !s.committed {
 			s.prePrepared = false
@@ -718,16 +719,7 @@ func (r *Replica) reproposePending() {
 	if !r.IsPrimary() {
 		return
 	}
-	digests := make([]string, 0, len(r.pending))
-	byKey := make(map[string]chaincrypto.Digest, len(r.pending))
-	for d := range r.pending {
-		k := d.String()
-		digests = append(digests, k)
-		byKey[k] = d
-	}
-	sort.Strings(digests)
-	for _, k := range digests {
-		d := byKey[k]
+	for _, d := range det.SortedKeysFunc(r.pending, chaincrypto.Digest.Compare) {
 		assigned := false
 		for _, s := range r.slots {
 			if s.digest == d && s.prePrepared {
@@ -753,6 +745,7 @@ func (r *Replica) Tick() {
 		}
 		return
 	}
+	//lint:allow maporder any timed-out request triggers the same single view change; which one fires first is immaterial
 	for _, p := range r.pending {
 		if r.now-p.since > r.cfg.RequestTimeout {
 			r.startViewChange(r.view + 1)

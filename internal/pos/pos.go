@@ -23,10 +23,11 @@ package pos
 
 import (
 	"fmt"
-	"sort"
 
 	"fortyconsensus/internal/chaincrypto"
 	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/det"
+	"fortyconsensus/internal/quorum"
 	"fortyconsensus/internal/types"
 )
 
@@ -37,7 +38,7 @@ func init() {
 		Failure:      core.Byzantine,
 		Strategy:     core.Optimistic,
 		Awareness:    core.UnknownParticipants,
-		NodesFor:     func(f int) int { return 2*f + 1 }, // honest-majority of stake
+		NodesFor:     func(f int) int { return quorum.MajorityFor(f).Size() }, // honest-majority of stake
 		NodesFormula: "majority of stake",
 		QuorumFor:    func(f int) int { return f + 1 },
 		CommitPhases: 1,
@@ -141,12 +142,7 @@ func NewLedger(params Params, stakes map[types.NodeID]uint64) *Ledger {
 		byID:   make(map[types.NodeID]*Validator, len(stakes)),
 		wins:   make(map[types.NodeID]int),
 	}
-	ids := make([]types.NodeID, 0, len(stakes))
-	for id := range stakes {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	for _, id := range det.SortedKeys(stakes) {
 		v := &Validator{ID: id, Stake: stakes[id], age: params.MinAge}
 		l.vals = append(l.vals, v)
 		l.byID[id] = v

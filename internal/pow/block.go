@@ -26,6 +26,7 @@ import (
 
 	"fortyconsensus/internal/chaincrypto"
 	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/quorum"
 )
 
 func init() {
@@ -35,7 +36,7 @@ func init() {
 		Failure:      core.Byzantine,
 		Strategy:     core.Optimistic,
 		Awareness:    core.UnknownParticipants,
-		NodesFor:     func(f int) int { return 2*f + 1 }, // honest-majority of hash power
+		NodesFor:     func(f int) int { return quorum.MajorityFor(f).Size() }, // honest-majority of hash power
 		NodesFormula: "majority of hash power",
 		QuorumFor:    func(f int) int { return f + 1 },
 		CommitPhases: 1,

@@ -102,6 +102,23 @@ func (f Flexible) Describe() string {
 // Phase1 returns the leader-election threshold.
 func (f Flexible) Phase1() int { return f.Q1 }
 
+// Trusted is the quorum system of trusted-component BFT (MinBFT,
+// CheapBFT, TrInc): a trusted monotonic counter or attested log strips
+// byzantine replicas of equivocation, so f byzantine faults need only
+// 2f+1 replicas and quorums of f+1 — any two quorums intersect in at
+// least one node, and every quorum contains at least one correct node.
+type Trusted struct{ F int }
+
+func (t Trusted) Size() int      { return 2*t.F + 1 }
+func (t Trusted) Threshold() int { return t.F + 1 }
+func (t Trusted) Describe() string {
+	return fmt.Sprintf("trusted(%d/%d,f=%d)", t.Threshold(), t.Size(), t.F)
+}
+
+// CorrectMembers returns the guaranteed number of correct nodes in any
+// quorum: (f+1) − f = 1, the non-equivocation argument's witness.
+func (t Trusted) CorrectMembers() int { return t.Threshold() - t.F }
+
 // Hybrid is the UpRight/SeeMoRe quorum for at most m byzantine and c
 // crash faults: network 3m+2c+1, quorum 2m+c+1, guaranteed correct
 // intersection m+1 — the "UpRight Failure Model" slide.
@@ -188,6 +205,7 @@ func (v *ValueTally) Count(key string) int {
 // lexicographically for determinism.
 func (v *ValueTally) Leader() (string, int) {
 	best, bestN := "", -1
+	//lint:allow maporder the lexicographic tie-break makes the winner independent of iteration order
 	for k, t := range v.votes {
 		if t.Count() > bestN || (t.Count() == bestN && k < best) {
 			best, bestN = k, t.Count()
@@ -202,6 +220,7 @@ func (v *ValueTally) Leader() (string, int) {
 // Total returns the number of distinct (node,value) votes recorded.
 func (v *ValueTally) Total() int {
 	n := 0
+	//lint:allow maporder summing counts is commutative; the total is order-independent
 	for _, t := range v.votes {
 		n += t.Count()
 	}

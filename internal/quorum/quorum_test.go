@@ -56,6 +56,24 @@ func TestByzantineArithmetic(t *testing.T) {
 	}
 }
 
+func TestTrustedArithmetic(t *testing.T) {
+	for f := 0; f <= 10; f++ {
+		tr := Trusted{F: f}
+		if tr.Size() != 2*f+1 || tr.Threshold() != f+1 {
+			t.Fatalf("f=%d: %d/%d", f, tr.Threshold(), tr.Size())
+		}
+		// Two quorums of f+1 out of 2f+1 always intersect.
+		if 2*tr.Threshold() <= tr.Size() {
+			t.Fatalf("f=%d: trusted quorums do not intersect", f)
+		}
+		// Every quorum holds at least one correct node, which is what
+		// lets f+1 matching (counter-attested) replies commit.
+		if tr.CorrectMembers() != 1 {
+			t.Fatalf("f=%d: correct members %d, want 1", f, tr.CorrectMembers())
+		}
+	}
+}
+
 func TestFastQuorumRecoverability(t *testing.T) {
 	// Fast quorum property: any two fast quorums and any classic quorum
 	// share at least one acceptor, so collision recovery can identify a

@@ -27,7 +27,7 @@ func init() {
 		Failure:              core.Crash,
 		Strategy:             core.Pessimistic,
 		Awareness:            core.KnownParticipants,
-		NodesFor:             func(f int) int { return 2*f + 1 },
+		NodesFor:             func(f int) int { return quorum.MajorityFor(f).Size() },
 		NodesFormula:         "2f+1",
 		QuorumFor:            func(f int) int { return f + 1 },
 		CommitPhases:         1,

@@ -40,9 +40,9 @@ func init() {
 		Strategy:  core.Pessimistic,
 		Awareness: core.KnownParticipants,
 		// Single-parameter view: m=c=f (see upright for the same note).
-		NodesFor:             func(f int) int { return 3*f + 2*f + 1 },
+		NodesFor:             func(f int) int { return quorum.Hybrid{M: f, C: f}.Size() },
 		NodesFormula:         "3m+2c+1",
-		QuorumFor:            func(f int) int { return 2*f + f + 1 },
+		QuorumFor:            func(f int) int { return quorum.Hybrid{M: f, C: f}.Threshold() },
 		CommitPhases:         2,
 		AltPhases:            3,
 		Complexity:           core.Quadratic,
@@ -129,7 +129,7 @@ type Config struct {
 }
 
 // N returns the required total 3m+2c+1.
-func (c Config) N() int { return 3*c.M + 2*c.C + 1 }
+func (c Config) N() int { return quorum.Hybrid{M: c.M, C: c.C}.Size() }
 
 func (c Config) withDefaults() Config {
 	if c.Mode == 0 {
@@ -199,7 +199,7 @@ func (r *Replica) IsPrimary() bool { return r.id == r.Primary() }
 // proxies returns the 3m+1 public nodes that coordinate in modes 2-3.
 func (r *Replica) proxies() []types.NodeID {
 	var ids []types.NodeID
-	for i := r.cfg.PrivateCount; i < r.cfg.N() && len(ids) < 3*r.cfg.M+1; i++ {
+	for i := r.cfg.PrivateCount; i < r.cfg.N() && len(ids) < (quorum.Byzantine{F: r.cfg.M}).Size(); i++ {
 		ids = append(ids, types.NodeID(i))
 	}
 	return ids
@@ -259,11 +259,11 @@ func (r *Replica) getSlot(seq types.Seq) *slot {
 		var needValid, needVote int
 		switch r.cfg.Mode {
 		case Mode1TrustedCentralized:
-			needVote = 2*r.cfg.M + r.cfg.C + 1 // hybrid quorum incl. primary
+			needVote = quorum.Hybrid{M: r.cfg.M, C: r.cfg.C}.Threshold() // hybrid quorum incl. primary
 			needValid = 0
 		default:
-			needVote = 2*r.cfg.M + 1 // proxy quorum
-			needValid = 2*r.cfg.M + 1
+			needVote = quorum.Byzantine{F: r.cfg.M}.Threshold() // proxy quorum
+			needValid = quorum.Byzantine{F: r.cfg.M}.Threshold()
 		}
 		s = &slot{
 			valids: quorum.NewTally(needValid),

@@ -38,9 +38,9 @@ func init() {
 		// checked directly in the quorum package and T4. Here we report
 		// the pure-byzantine degenerate (c=0) so the registry's
 		// single-parameter arithmetic stays meaningful.
-		NodesFor:             func(f int) int { return 3*f + 1 },
+		NodesFor:             func(f int) int { return quorum.Byzantine{F: f}.Size() },
 		NodesFormula:         "3m+2c+1",
-		QuorumFor:            func(f int) int { return 2*f + 1 },
+		QuorumFor:            func(f int) int { return quorum.Byzantine{F: f}.Threshold() },
 		CommitPhases:         3,
 		Complexity:           core.Quadratic,
 		ViewChangeComplexity: core.Quadratic,
@@ -96,10 +96,10 @@ type Config struct {
 }
 
 // N returns the required cluster size 3m+2c+1.
-func (c Config) N() int { return 3*c.M + 2*c.C + 1 }
+func (c Config) N() int { return quorum.Hybrid{M: c.M, C: c.C}.Size() }
 
 // Quorum returns 2m+c+1.
-func (c Config) Quorum() int { return 2*c.M + c.C + 1 }
+func (c Config) Quorum() int { return quorum.Hybrid{M: c.M, C: c.C}.Threshold() }
 
 type slot struct {
 	digest    chaincrypto.Digest

@@ -21,10 +21,10 @@ package xft
 
 import (
 	"fmt"
-	"sort"
 
 	"fortyconsensus/internal/chaincrypto"
 	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/quorum"
 	"fortyconsensus/internal/types"
 )
@@ -36,7 +36,7 @@ func init() {
 		Failure:              core.Hybrid,
 		Strategy:             core.Optimistic,
 		Awareness:            core.KnownParticipants,
-		NodesFor:             func(f int) int { return 2*f + 1 },
+		NodesFor:             func(f int) int { return quorum.MajorityFor(f).Size() },
 		NodesFormula:         "2f+1",
 		QuorumFor:            func(f int) int { return f + 1 },
 		CommitPhases:         2,
@@ -163,7 +163,7 @@ type pend struct {
 func NewReplica(id types.NodeID, cfg Config) *Replica {
 	cfg = cfg.withDefaults()
 	if cfg.N == 0 {
-		cfg.N = 2*cfg.F + 1
+		cfg.N = quorum.MajorityFor(cfg.F).Size()
 	}
 	return &Replica{
 		id:       id,
@@ -429,12 +429,11 @@ func (r *Replica) suspect(target types.View) {
 // sendViewChange reports this replica's log to the new view's leader.
 func (r *Replica) sendViewChange(target types.View) {
 	entries := make([]Entry, 0, len(r.slots))
-	for seq, s := range r.slots {
-		if seq > 0 && s.req != nil {
+	for _, seq := range det.SortedKeys(r.slots) {
+		if s := r.slots[seq]; seq > 0 && s.req != nil {
 			entries = append(entries, Entry{Seq: seq, Req: s.req.Clone(), Committed: s.committed || seq <= r.exec})
 		}
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Seq < entries[j].Seq })
 	vc := Message{Kind: MsgViewChange, View: target, Executed: r.exec, Entries: entries}
 	lead := r.Leader(target)
 	if lead == r.id {
@@ -501,11 +500,7 @@ func (r *Replica) installView(v types.View, logs map[types.NodeID]Message) {
 			}
 		}
 	}
-	seqs := make([]types.Seq, 0, len(merged))
-	for s := range merged {
-		seqs = append(seqs, s)
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	seqs := det.SortedKeys(merged)
 	entries := make([]Entry, 0, len(seqs))
 	for _, s := range seqs {
 		entries = append(entries, merged[s])
@@ -572,20 +567,12 @@ func (r *Replica) applyNewView(v types.View, entries []Entry) {
 		r.pending[d] = p
 	}
 	if r.IsLeader() {
-		keys := make([]string, 0, len(r.pending))
-		byKey := map[string]chaincrypto.Digest{}
-		for d := range r.pending {
-			k := d.String()
-			keys = append(keys, k)
-			byKey[k] = d
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			r.prepare(r.pending[byKey[k]].req, byKey[k])
+		for _, d := range det.SortedKeysFunc(r.pending, chaincrypto.Digest.Compare) {
+			r.prepare(r.pending[d].req, d)
 		}
 	} else if lead := r.Leader(v); lead != r.id {
-		for _, p := range r.pending {
-			r.send(Message{Kind: MsgRequest, To: lead, Req: p.req.Clone()})
+		for _, d := range det.SortedKeysFunc(r.pending, chaincrypto.Digest.Compare) {
+			r.send(Message{Kind: MsgRequest, To: lead, Req: r.pending[d].req.Clone()})
 		}
 	}
 }
@@ -600,6 +587,7 @@ func (r *Replica) Tick() {
 		return
 	}
 	if r.InGroup(r.id, r.view) {
+		//lint:allow maporder any timed-out slot raises the same suspicion of the current view; which fires first is immaterial
 		for seq, s := range r.slots {
 			if seq > r.exec && s.req != nil && !s.committed && r.now-s.started > r.cfg.RequestTimeout {
 				r.suspect(r.view + 1)
@@ -607,6 +595,7 @@ func (r *Replica) Tick() {
 			}
 		}
 	}
+	//lint:allow maporder any timed-out request raises the same suspicion of the current view; which fires first is immaterial
 	for _, p := range r.pending {
 		if r.now-p.since > r.cfg.RequestTimeout {
 			r.suspect(r.view + 1)

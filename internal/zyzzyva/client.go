@@ -2,6 +2,8 @@ package zyzzyva
 
 import (
 	"fortyconsensus/internal/chaincrypto"
+	"fortyconsensus/internal/det"
+	"fortyconsensus/internal/quorum"
 	"fortyconsensus/internal/types"
 )
 
@@ -115,7 +117,7 @@ func (c *Client) Step(m Message) {
 			return
 		}
 		c.localOK[m.From] = true
-		if len(c.localOK) >= 2*c.cfg.F+1 {
+		if len(c.localOK) >= (quorum.Byzantine{F: c.cfg.F}).Threshold() {
 			c.complete(m.Seq, PathCert)
 		}
 	}
@@ -136,16 +138,13 @@ func (c *Client) Tick() {
 	elapsed := c.now - c.sentAt
 	// Fall back to the committed path once the fast window closes.
 	if !c.certSent && elapsed >= c.cfg.ClientFastWait {
-		for k, set := range c.responses {
-			if len(set) >= 2*c.cfg.F+1 {
+		for _, k := range det.SortedKeys(c.responses) {
+			set := c.responses[k]
+			if len(set) >= (quorum.Byzantine{F: c.cfg.F}).Threshold() {
 				c.certSent = true
 				c.certKey = k
-				var any Message
-				var ids []types.NodeID
-				for id, m := range set {
-					ids = append(ids, id)
-					any = m
-				}
+				ids := det.SortedKeys(set)
+				any := set[ids[0]]
 				c.certSeq = any.Seq
 				for i := 0; i < c.cfg.N; i++ {
 					c.send(Message{

@@ -1,6 +1,7 @@
 package zyzzyva
 
 import (
+	"fortyconsensus/internal/quorum"
 	"fortyconsensus/internal/runner"
 	"fortyconsensus/internal/simnet"
 	"fortyconsensus/internal/types"
@@ -24,7 +25,7 @@ type Cluster struct {
 // NewCluster builds a 3f+1 replica cluster with the given client count.
 // Client node IDs start at 3f+1.
 func NewCluster(f, clients int, fabric *simnet.Fabric, cfg Config) *Cluster {
-	n := 3*f + 1
+	n := quorum.Byzantine{F: f}.Size()
 	cfg.N, cfg.F = n, f
 	rc := runner.New(runner.Config[Message]{Fabric: fabric, Dest: Dest, Src: Src, Kind: Kind})
 	c := &Cluster{Cluster: rc, F: f}

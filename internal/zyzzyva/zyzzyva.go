@@ -22,10 +22,10 @@ package zyzzyva
 
 import (
 	"fmt"
-	"sort"
 
 	"fortyconsensus/internal/chaincrypto"
 	"fortyconsensus/internal/core"
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/quorum"
 	"fortyconsensus/internal/types"
 )
@@ -37,9 +37,9 @@ func init() {
 		Failure:              core.Byzantine,
 		Strategy:             core.Optimistic,
 		Awareness:            core.KnownParticipants,
-		NodesFor:             func(f int) int { return 3*f + 1 },
+		NodesFor:             func(f int) int { return quorum.Byzantine{F: f}.Size() },
 		NodesFormula:         "3f+1",
-		QuorumFor:            func(f int) int { return 2*f + 1 },
+		QuorumFor:            func(f int) int { return quorum.Byzantine{F: f}.Threshold() },
 		CommitPhases:         1,
 		AltPhases:            3,
 		Complexity:           core.Linear,
@@ -176,7 +176,7 @@ type pendRec struct {
 func NewReplica(id types.NodeID, cfg Config) *Replica {
 	cfg = cfg.withDefaults()
 	if cfg.N == 0 {
-		cfg.N = 3*cfg.F + 1
+		cfg.N = quorum.Byzantine{F: cfg.F}.Size()
 	}
 	return &Replica{
 		id:      id,
@@ -188,7 +188,7 @@ func NewReplica(id types.NodeID, cfg Config) *Replica {
 	}
 }
 
-func (r *Replica) quorum() int           { return 2*r.cfg.F + 1 }
+func (r *Replica) quorum() int           { return quorum.Byzantine{F: r.cfg.F}.Threshold() }
 func (r *Replica) primary() types.NodeID { return r.view.Primary(r.cfg.N) }
 
 // IsPrimary reports whether this replica leads the current view.
@@ -253,8 +253,8 @@ func (r *Replica) onRequest(m Message) {
 	if r.IsPrimary() && !r.viewChanging {
 		// A request already in the speculative log is a retransmission:
 		// re-issue its order-req so replicas that missed it can catch up.
-		for s, req := range r.log {
-			if req.Equal(m.Req) {
+		for _, s := range det.SortedKeys(r.log) {
+			if req := r.log[s]; req.Equal(m.Req) {
 				r.broadcast(Message{Kind: MsgOrderReq, View: r.view, Seq: s, Req: req.Clone(), History: r.histAt[s]})
 				r.respond(clientOf(req), s, req)
 				return
@@ -383,12 +383,11 @@ func (r *Replica) startViewChange(target types.View) {
 	r.viewChanges++
 	r.vcTarget = target
 	entries := make([]HistEntry, 0, len(r.log))
-	for s, req := range r.log {
+	for _, s := range det.SortedKeys(r.log) {
 		if s > r.committed {
-			entries = append(entries, HistEntry{Seq: s, Req: req.Clone()})
+			entries = append(entries, HistEntry{Seq: s, Req: r.log[s].Clone()})
 		}
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Seq < entries[j].Seq })
 	vc := Message{Kind: MsgViewChange, View: target, Committed: r.committed, Entries: entries}
 	r.record(target, r.id, vc)
 	r.broadcast(vc)
@@ -436,6 +435,7 @@ func (r *Replica) emitNewView(v types.View, votes map[types.NodeID]Message) {
 	// Per-slot value counting above the committed frontier.
 	counts := make(map[types.Seq]*quorum.ValueTally)
 	vals := make(map[string]types.Value)
+	//lint:allow maporder votes accumulate into commutative per-slot tallies keyed by digest; no effect depends on visit order
 	for _, vc := range votes {
 		for _, e := range vc.Entries {
 			if e.Seq <= maxCommitted {
@@ -524,7 +524,8 @@ func (r *Replica) applyNewView(v types.View, committed types.Seq, entries []Hist
 		r.committed = committed
 	}
 	// Refresh pending timers for the new primary.
-	for d, p := range r.pending {
+	for _, d := range det.SortedKeysFunc(r.pending, chaincrypto.Digest.Compare) {
+		p := r.pending[d]
 		p.since = r.now
 		r.pending[d] = p
 		if r.IsPrimary() {
@@ -541,6 +542,7 @@ func (r *Replica) Tick() {
 	if r.viewChanging {
 		return
 	}
+	//lint:allow maporder any timed-out request triggers the same single view change; which fires first is immaterial
 	for _, p := range r.pending {
 		if r.now-p.since > r.cfg.ReplicaTimeout {
 			r.startViewChange(r.view + 1)
