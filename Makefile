@@ -6,7 +6,7 @@ GO ?= go
 # proportionate.
 RACE_PKGS := ./internal/runner ./internal/simnet ./internal/experiments
 
-.PHONY: all build test test-race bench golden lint ci
+.PHONY: all build test test-race bench golden lint explore ci
 
 all: build test
 
@@ -27,9 +27,15 @@ test: build lint
 test-race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Bounded deterministic fault campaign: every registered protocol, a
+# fixed seed window, the default crash-model fault mix. Exit 1 means an
+# invariant was violated and a reproducer was printed.
+explore:
+	$(GO) run ./cmd/consensus-explore -protocol all -seeds 24 -faults 4
+
 # Full gate: everything CI runs, in order. The golden step verifies the
 # pinned experiment artifacts byte-for-byte (no -update).
-ci: build lint
+ci: build lint explore
 	$(GO) test -race ./...
 	$(GO) test ./internal/experiments -run TestGoldenArtifacts -count=1
 

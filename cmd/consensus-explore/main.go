@@ -1,0 +1,199 @@
+// consensus-explore runs seed-sweep safety campaigns: random nemesis
+// fault schedules against the registered protocol harnesses, a shared
+// invariant suite checked every tick, automatic shrinking of failing
+// schedules, and bit-identical replay of reproducer files.
+//
+//	consensus-explore -protocol raft -seeds 500 -faults 6
+//	consensus-explore -protocol all -seeds 24 -faults 4 -shrink -out /tmp/repro
+//	consensus-explore -replay /tmp/repro/raft-seed42.nemesis
+//
+// Exit status: 0 when every run is safe, 1 when any invariant was
+// violated, 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fortyconsensus/internal/explore"
+	"fortyconsensus/internal/nemesis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		protocol = flag.String("protocol", "all", "protocol to campaign against, or 'all' ("+strings.Join(explore.Names(), ", ")+")")
+		seeds    = flag.Int("seeds", 24, "runs per protocol; run i uses seed seed-base+i")
+		seedBase = flag.Uint64("seed-base", 1, "first seed of the sweep")
+		faults   = flag.Int("faults", 4, "fault budget per generated schedule (0 = fault-free sweep)")
+		nodes    = flag.Int("nodes", 0, "cluster size override (0 = protocol default)")
+		horizon  = flag.Int("horizon", 0, "run length in ticks (0 = protocol default)")
+		classes  = flag.String("classes", "", "comma-separated fault classes ("+strings.Join(nemesis.Keywords(), ", ")+"); default crash-model mix")
+		shrink   = flag.Bool("shrink", true, "shrink failing schedules to minimal reproducers")
+		out      = flag.String("out", "", "directory for reproducer .nemesis files (default: don't write)")
+		replay   = flag.String("replay", "", "replay a reproducer spec file and verify its trace hash")
+		verbose  = flag.Bool("v", false, "log every run")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		return replaySpec(*replay, *verbose)
+	}
+
+	var ops []nemesis.Op
+	if *classes != "" {
+		for _, kw := range strings.Split(*classes, ",") {
+			kw = strings.TrimSpace(kw)
+			op, ok := nemesis.ClassByKeyword(kw)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "consensus-explore: unknown fault class %q (want one of %s)\n",
+					kw, strings.Join(nemesis.Keywords(), ", "))
+				return 2
+			}
+			ops = append(ops, op)
+		}
+	}
+
+	var protos []explore.Protocol
+	if *protocol == "all" {
+		for _, name := range explore.Names() {
+			p, _ := explore.Lookup(name)
+			protos = append(protos, p)
+		}
+	} else {
+		p, ok := explore.Lookup(*protocol)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "consensus-explore: unknown protocol %q (want one of %s, or all)\n",
+				*protocol, strings.Join(explore.Names(), ", "))
+			return 2
+		}
+		protos = append(protos, p)
+	}
+
+	violations := 0
+	for _, p := range protos {
+		c := explore.Campaign{
+			Proto: p, Seeds: *seeds, SeedBase: *seedBase, Faults: *faults,
+			Nodes: *nodes, Horizon: *horizon, Classes: ops, Shrink: *shrink,
+		}
+		if *verbose {
+			c.Log = func(format string, args ...any) {
+				fmt.Printf("  ["+p.Name+"] "+format+"\n", args...)
+			}
+		}
+		res := c.Run()
+		printCampaign(res)
+		violations += res.Outcomes[explore.OutcomeViolation]
+		if *out != "" {
+			if err := writeFailures(*out, res); err != nil {
+				fmt.Fprintf(os.Stderr, "consensus-explore: %v\n", err)
+				return 2
+			}
+		}
+	}
+	if violations > 0 {
+		fmt.Printf("\n%d violating run(s) — reproducers above\n", violations)
+		return 1
+	}
+	return 0
+}
+
+// printCampaign renders one protocol's survival matrix and fault
+// exposure.
+func printCampaign(res *explore.CampaignResult) {
+	fmt.Printf("\n%s: %d run(s)  ok=%d stall=%d violation=%d\n",
+		res.Protocol, res.Runs,
+		res.Outcomes[explore.OutcomeOK],
+		res.Outcomes[explore.OutcomeStall],
+		res.Outcomes[explore.OutcomeViolation])
+	classes := make([]string, 0, len(res.Matrix))
+	for c := range res.Matrix {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Printf("  %-12s %6s %6s %10s\n", "fault class", "ok", "stall", "violation")
+	for _, c := range classes {
+		row := res.Matrix[c]
+		fmt.Printf("  %-12s %6d %6d %10d\n", c,
+			row[explore.OutcomeOK], row[explore.OutcomeStall], row[explore.OutcomeViolation])
+	}
+	e := res.Exposure
+	fmt.Printf("  exposure: %d crash, %d restart, %d partition, %d heal, %d cut; %d msgs sent, %d dropped\n",
+		e.Crashes, e.Restarts, e.Partitions, e.Heals, e.CutLinks, e.Sent, e.Dropped)
+	for _, f := range res.Failures {
+		fmt.Printf("  FAIL seed %d: %s (hash %s)\n", f.Result.Seed, f.Result.Violation, f.Result.Hash)
+		if f.Shrunk != nil {
+			fmt.Printf("    shrunk to %d fault event(s), horizon %d\n",
+				f.Shrunk.Schedule.FaultCount(), f.Shrunk.Horizon)
+		}
+	}
+}
+
+// writeFailures persists reproducer specs (shrunk when available).
+func writeFailures(dir string, res *explore.CampaignResult) error {
+	if len(res.Failures) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range res.Failures {
+		sp := f.Spec
+		if f.Shrunk != nil {
+			sp = f.Shrunk
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s-seed%d.nemesis", res.Protocol, f.Result.Seed))
+		if err := os.WriteFile(path, sp.Encode(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+	return nil
+}
+
+// replaySpec re-runs a reproducer file and verifies the trace hash.
+func replaySpec(path string, verbose bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-explore: %v\n", err)
+		return 2
+	}
+	sp, err := nemesis.Decode(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-explore: %v\n", err)
+		return 2
+	}
+	p, ok := explore.Lookup(sp.Protocol)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "consensus-explore: spec protocol %q is not registered\n", sp.Protocol)
+		return 2
+	}
+	res, match := explore.Replay(p, sp)
+	fmt.Printf("%s: nodes=%d seed=%d horizon=%d faults=%d -> %s (hash %s)\n",
+		sp.Protocol, res.Nodes, sp.Seed, res.Horizon, sp.Schedule.FaultCount(), res.Outcome, res.Hash)
+	if res.Violation != nil {
+		fmt.Printf("  violation at tick %d: %s\n", res.ViolationAt, res.Violation)
+	}
+	if sp.Hash == "" {
+		fmt.Println("  spec carries no recorded hash; nothing to verify")
+	} else if match {
+		fmt.Println("  replay is bit-identical to the recorded trace")
+	} else {
+		fmt.Printf("  HASH MISMATCH: recorded %s\n", sp.Hash)
+		return 1
+	}
+	if verbose && res.Outcome == explore.OutcomeViolation {
+		fmt.Printf("  reproducer:\n%s", sp.Encode())
+	}
+	if res.Outcome == explore.OutcomeViolation {
+		return 1
+	}
+	return 0
+}

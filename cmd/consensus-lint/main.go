@@ -57,6 +57,8 @@ var exemptPrefixes = []string{
 	"internal/transport",
 	"internal/kvstore",
 	"internal/wal",
+	"internal/nemesis",
+	"internal/explore",
 }
 
 // quorumlitExempt additionally skips quorumlit where the arithmetic

@@ -40,6 +40,16 @@ func NewCluster(cohorts int, fabric *simnet.Fabric, proto Protocol, vote Voter, 
 // OutcomeAt reports cohort i's (0-based) view of tx.
 func (c *Cluster) OutcomeAt(i int, tx TxID) Outcome { return c.Cohorts[i].Outcome(tx) }
 
+// Outcomes returns every cohort's view of tx, indexed by cohort
+// position.
+func (c *Cluster) Outcomes(tx TxID) []Outcome {
+	out := make([]Outcome, len(c.Cohorts))
+	for i, h := range c.Cohorts {
+		out[i] = h.Outcome(tx)
+	}
+	return out
+}
+
 // Unanimous reports whether every cohort holds the same non-pending
 // outcome for tx, and what it is.
 func (c *Cluster) Unanimous(tx TxID) (Outcome, bool) {

@@ -1,0 +1,145 @@
+package explore
+
+import (
+	"fortyconsensus/internal/nemesis"
+	"fortyconsensus/internal/runner"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+// nodeIDs returns the membership 0..n-1 schedules are drawn over.
+func nodeIDs(n int) []types.NodeID {
+	ids := make([]types.NodeID, n)
+	for i := range ids {
+		ids[i] = types.NodeID(i)
+	}
+	return ids
+}
+
+// Campaign sweeps (seed × random schedule) space for one protocol.
+type Campaign struct {
+	Proto Protocol
+	// Seeds is how many runs to perform; run i uses seed SeedBase+i.
+	Seeds    int
+	SeedBase uint64
+	// Faults is the per-schedule fault budget (0 = fault-free sweep).
+	Faults int
+	// Nodes/Horizon override the protocol defaults when > 0.
+	Nodes, Horizon int
+	// Classes restricts generated fault families (nil = nemesis default
+	// crash-model mix).
+	Classes []nemesis.Op
+	// MaxDown overrides the generator's simultaneous-down bound.
+	MaxDown int
+	// Shrink minimizes every failing schedule before reporting it.
+	Shrink bool
+	// ShrinkBudget bounds re-runs per shrink (0 = default).
+	ShrinkBudget int
+	// Log, when set, receives one line per completed run.
+	Log func(format string, args ...any)
+}
+
+// Failure is one violating run with its reproducers.
+type Failure struct {
+	Result Result
+	Spec   *nemesis.Spec // reproducer for the original failing run
+	Shrunk *nemesis.Spec // minimized reproducer (nil when shrinking is off)
+}
+
+// CampaignResult aggregates one campaign.
+type CampaignResult struct {
+	Protocol string
+	Runs     int
+	// Outcomes counts runs per outcome.
+	Outcomes map[string]int
+	// Matrix is the survival matrix: fault class → outcome → runs whose
+	// schedule contained that class. A fault-free run counts under
+	// "none". Rows overlap: a schedule with both crash and partition
+	// events counts in both rows.
+	Matrix map[string]map[string]int
+	// Exposure sums fault-event and message counters across runs.
+	Exposure runner.Stats
+	Failures []Failure
+}
+
+// Run executes the sweep.
+func (c Campaign) Run() *CampaignResult {
+	res := &CampaignResult{
+		Protocol: c.Proto.Name,
+		Outcomes: map[string]int{},
+		Matrix:   map[string]map[string]int{},
+	}
+	nodes := c.Nodes
+	if nodes <= 0 {
+		nodes = c.Proto.Nodes
+	}
+	horizon := c.Horizon
+	if horizon <= 0 {
+		horizon = c.Proto.Horizon
+	}
+	for i := 0; i < c.Seeds; i++ {
+		seed := c.SeedBase + uint64(i)
+		sched := c.generate(seed, nodes, horizon)
+		r := RunOnce(c.Proto, seed, nodes, horizon, sched)
+		res.Runs++
+		res.Outcomes[r.Outcome]++
+		classes := sched.Classes()
+		if len(classes) == 0 {
+			classes = []string{"none"}
+		}
+		for _, cl := range classes {
+			row := res.Matrix[cl]
+			if row == nil {
+				row = map[string]int{}
+				res.Matrix[cl] = row
+			}
+			row[r.Outcome]++
+		}
+		res.Exposure = sumStats(res.Exposure, r.Stats)
+		if c.Log != nil {
+			c.Log("seed %d: %s (faults %d, hash %s)", seed, r.Outcome, sched.FaultCount(), r.Hash)
+		}
+		if r.Outcome != OutcomeViolation {
+			continue
+		}
+		fail := Failure{Result: r, Spec: r.Spec(sched)}
+		if c.Shrink {
+			sh := ShrinkSchedule(c.Proto, seed, nodes, horizon, sched, c.ShrinkBudget)
+			fail.Shrunk = sh.Final.Spec(sh.Schedule)
+			if c.Log != nil {
+				c.Log("seed %d: shrunk %d -> %d fault(s) in %d re-run(s)",
+					seed, sched.FaultCount(), sh.Schedule.FaultCount(), sh.Runs)
+			}
+		}
+		res.Failures = append(res.Failures, fail)
+	}
+	return res
+}
+
+// generate draws the run's schedule from a stream decorrelated from the
+// fabric seed.
+func (c Campaign) generate(seed uint64, nodes, horizon int) nemesis.Schedule {
+	if c.Faults <= 0 {
+		return nemesis.Schedule{}
+	}
+	return nemesis.Generate(simnet.NewRNG(ScheduleSeed(seed)), nemesis.GenConfig{
+		Nodes:   nodeIDs(nodes),
+		Horizon: horizon,
+		Faults:  c.Faults,
+		Classes: c.Classes,
+		MaxDown: c.MaxDown,
+	})
+}
+
+func sumStats(a, b runner.Stats) runner.Stats {
+	a.Sent += b.Sent
+	a.Delivered += b.Delivered
+	a.Dropped += b.Dropped
+	a.Ticks += b.Ticks
+	a.Crashes += b.Crashes
+	a.Restarts += b.Restarts
+	a.Partitions += b.Partitions
+	a.Heals += b.Heals
+	a.CutLinks += b.CutLinks
+	return a
+}

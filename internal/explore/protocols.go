@@ -1,0 +1,331 @@
+package explore
+
+import (
+	"fmt"
+
+	"fortyconsensus/internal/commit"
+	"fortyconsensus/internal/flexpaxos"
+	"fortyconsensus/internal/hotstuff"
+	"fortyconsensus/internal/multipaxos"
+	"fortyconsensus/internal/paxos"
+	"fortyconsensus/internal/pbft"
+	"fortyconsensus/internal/quorum"
+	"fortyconsensus/internal/raft"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/types"
+)
+
+// This file adapts each protocol harness to the Episode surface. Every
+// adapter follows the same shape: a seeded fabric, a cluster, a
+// deterministic tick-scheduled workload, and an invariant tracker fed
+// from drained decisions.
+
+func init() {
+	Register(Protocol{Name: "paxos", Nodes: 5, MinNodes: 3, Horizon: 400, New: newPaxosEpisode})
+	Register(Protocol{Name: "raft", Nodes: 5, MinNodes: 3, Horizon: 600, New: newRaftEpisode})
+	Register(Protocol{Name: "multipaxos", Nodes: 5, MinNodes: 3, Horizon: 600, New: newMultiPaxosEpisode})
+	Register(Protocol{Name: "flexpaxos", Nodes: 5, MinNodes: 3, Horizon: 600, New: newFlexPaxosEpisode})
+	Register(Protocol{Name: "pbft", Nodes: 4, MinNodes: 4, Horizon: 400, New: newPBFTEpisode})
+	Register(Protocol{Name: "hotstuff", Nodes: 4, MinNodes: 4, Horizon: 400, New: newHotStuffEpisode})
+	Register(Protocol{Name: "2pc", Nodes: 4, MinNodes: 3, Horizon: 600, New: newCommitEpisode(commit.TwoPC)})
+	Register(Protocol{Name: "3pc", Nodes: 4, MinNodes: 3, Horizon: 600, New: newCommitEpisode(commit.ThreePC)})
+}
+
+// campaignFabric is the network every episode runs on: light jitter so
+// message interleavings vary across seeds even before faults hit.
+func campaignFabric(seed uint64) *simnet.Fabric {
+	return simnet.NewFabric(simnet.Options{MinDelay: 1, MaxDelay: 3, Seed: seed})
+}
+
+// submitCadence is how often SMR workloads hand the cluster a command.
+const submitCadence = 20
+
+// leaderNode abstracts leader-routed submission across SMR harnesses.
+type leaderNode interface {
+	IsLeader() bool
+	Submit(v types.Value)
+}
+
+// submitToLeader hands v to the first live leader, if any. Lost
+// commands (no leader this tick) are fine: the workload only needs to
+// give live leaders something to replicate.
+func submitToLeader[N leaderNode](crashed func(types.NodeID) bool, nodes []N, v types.Value) {
+	for i, n := range nodes {
+		if !crashed(types.NodeID(i)) && n.IsLeader() {
+			n.Submit(v)
+			return
+		}
+	}
+}
+
+func cmd(now int) types.Value { return []byte(fmt.Sprintf("cmd-%d", now)) }
+
+// --- single-value Paxos ---
+
+func newPaxosEpisode(n int, seed uint64) *Episode {
+	c := paxos.NewCluster(n, campaignFabric(seed), paxos.Config{RandomBackoff: true, Seed: seed})
+	return &Episode{
+		Target: c.Cluster,
+		Tick: func(now int) {
+			// Two rival proposers early in the run; paxos retries
+			// internally, so one submission each is enough.
+			if now == 1 && !c.Crashed(0) {
+				c.Nodes[0].Propose([]byte("v-left"))
+			}
+			if now == 3 && n > 1 && !c.Crashed(1) {
+				c.Nodes[1].Propose([]byte("v-right"))
+			}
+			c.Step()
+		},
+		Check: func() *Violation { return CheckSingleValue(c.DecidedValues()) },
+		Fingerprint: func() string {
+			fp := uint64(fnvOffset)
+			for i, v := range c.DecidedValues() {
+				if v == nil {
+					continue
+				}
+				fp = fnvMixUint(fp, uint64(i))
+				for _, b := range v {
+					fp = fnvMix(fp, b)
+				}
+			}
+			return fmt.Sprintf("%016x", fp)
+		},
+		Healthy: func() bool {
+			for _, v := range c.DecidedValues() {
+				if v == nil {
+					return false
+				}
+			}
+			return true
+		},
+		Stats: c.Stats,
+	}
+}
+
+// --- leader-based SMR: Raft, Multi-Paxos, Flexible Paxos ---
+
+func newRaftEpisode(n int, seed uint64) *Episode {
+	c := raft.NewCluster(n, campaignFabric(seed), raft.Config{Seed: seed}, nil)
+	tr := NewLogTracker(n)
+	return &Episode{
+		Target: c.Cluster,
+		Tick: func(now int) {
+			if now%submitCadence == 5 {
+				submitToLeader(c.Crashed, c.Nodes, cmd(now))
+			}
+			c.Step()
+			for i, ds := range c.TakeAllDecisions() {
+				tr.Observe(i, ds)
+			}
+		},
+		Check:       tr.Violation,
+		Fingerprint: tr.Fingerprint,
+		Healthy:     func() bool { return tr.MinCount() >= 1 },
+		Stats:       c.Stats,
+	}
+}
+
+func newMultiPaxosEpisode(n int, seed uint64) *Episode {
+	c := multipaxos.NewCluster(n, campaignFabric(seed), multipaxos.Config{Seed: seed}, nil)
+	tr := NewLogTracker(n)
+	return &Episode{
+		Target: c.Cluster,
+		Tick: func(now int) {
+			if now%submitCadence == 5 {
+				submitToLeader(c.Crashed, c.Nodes, cmd(now))
+			}
+			c.Step()
+			for i, ds := range c.TakeAllDecisions() {
+				tr.Observe(i, ds)
+			}
+		},
+		Check:       tr.Violation,
+		Fingerprint: tr.Fingerprint,
+		Healthy:     func() bool { return tr.MinCount() >= 1 },
+		Stats:       c.Stats,
+	}
+}
+
+func newFlexPaxosEpisode(n int, seed uint64) *Episode {
+	// Smallest valid replication quorum: Q2 = n/2, Q1 = n+1-Q2, so
+	// Q1+Q2 = n+1 > n holds for every cluster size the shrinker tries.
+	q2 := n / 2
+	if q2 < 1 {
+		q2 = 1
+	}
+	cfg := flexpaxos.Config{Quorums: quorum.Flexible{N: n, Q1: n + 1 - q2, Q2: q2}, Seed: seed}
+	c, err := flexpaxos.NewCluster(n, campaignFabric(seed), cfg)
+	if err != nil {
+		panic("explore: flexpaxos episode: " + err.Error())
+	}
+	tr := NewLogTracker(n)
+	return &Episode{
+		Target: c.Cluster,
+		Tick: func(now int) {
+			if now%submitCadence == 5 {
+				submitToLeader(c.Crashed, c.Nodes, cmd(now))
+			}
+			c.Step()
+			for i, ds := range c.TakeAllDecisions() {
+				tr.Observe(i, ds)
+			}
+		},
+		Check:       tr.Violation,
+		Fingerprint: tr.Fingerprint,
+		Healthy:     func() bool { return tr.MinCount() >= 1 },
+		Stats:       c.Stats,
+	}
+}
+
+// --- byzantine SMR: PBFT, HotStuff ---
+
+func newPBFTEpisode(n int, seed uint64) *Episode {
+	f := (n - 1) / 3
+	if f < 1 {
+		f = 1
+	}
+	c := pbft.NewCluster(f, campaignFabric(seed), pbft.Config{}, nil)
+	size := len(c.Replicas)
+	tr := NewLogTracker(size)
+	return &Episode{
+		Target: c.Cluster,
+		Tick: func(now int) {
+			if now%30 == 5 {
+				// Rotate the entry replica; backups flood requests to the
+				// primary, so any live replica works.
+				for off := 0; off < size; off++ {
+					at := types.NodeID((now/30 + off) % size)
+					if !c.Crashed(at) {
+						c.Submit(at, cmd(now))
+						break
+					}
+				}
+			}
+			c.Step()
+			for i, ds := range c.TakeAllDecisions() {
+				tr.Observe(i, ds)
+			}
+		},
+		Check:       tr.Violation,
+		Fingerprint: tr.Fingerprint,
+		Healthy:     func() bool { return tr.MinCount() >= 1 },
+		Stats:       c.Stats,
+	}
+}
+
+func newHotStuffEpisode(n int, seed uint64) *Episode {
+	f := (n - 1) / 3
+	if f < 1 {
+		f = 1
+	}
+	c := hotstuff.NewCluster(f, campaignFabric(seed), hotstuff.Config{}, nil)
+	size := len(c.Replicas)
+	tr := NewLogTracker(size)
+	return &Episode{
+		Target: c.Cluster,
+		Tick: func(now int) {
+			if now%30 == 5 {
+				c.Submit(cmd(now)) // broadcast; rotating leaders pick it up
+			}
+			c.Step()
+			for i, ds := range c.TakeAllDecisions() {
+				tr.Observe(i, ds)
+			}
+		},
+		Check:       tr.Violation,
+		Fingerprint: tr.Fingerprint,
+		Healthy:     func() bool { return tr.MinCount() >= 1 },
+		Stats:       c.Stats,
+	}
+}
+
+// --- atomic commitment: 2PC, 3PC ---
+
+// commitCadence spaces transactions far enough apart for a full
+// vote/decide/ack round between them even under delay storms.
+const commitCadence = 60
+
+func newCommitEpisode(proto commit.Protocol) func(n int, seed uint64) *Episode {
+	return func(n int, seed uint64) *Episode {
+		cohorts := n - 1 // node 0 is the coordinator
+		// Cohorts vote abort on every fourth transaction so campaigns
+		// exercise both decision paths.
+		voter := func(tx commit.TxID, _ types.Value) bool { return tx%4 != 3 }
+		c := commit.NewCluster(cohorts, campaignFabric(seed), proto, voter, nil)
+		var started []commit.TxID
+		var latched *Violation
+		return &Episode{
+			Target: c.Cluster,
+			Tick: func(now int) {
+				if now%commitCadence == 5 && !c.Crashed(0) {
+					tx := commit.TxID(now/commitCadence + 1)
+					ops := map[types.NodeID]types.Value{}
+					for i := 0; i < cohorts; i++ {
+						ops[types.NodeID(i+1)] = cmd(now)
+					}
+					c.Coord.Begin(tx, ops)
+					started = append(started, tx)
+				}
+				c.Step()
+			},
+			Check: func() *Violation {
+				if latched != nil {
+					return latched
+				}
+				for _, tx := range started {
+					if v := checkAtomic(tx, c.Outcomes(tx)); v != nil {
+						latched = v
+						return latched
+					}
+				}
+				return nil
+			},
+			Fingerprint: func() string {
+				fp := uint64(fnvOffset)
+				for _, tx := range started {
+					for _, o := range c.Outcomes(tx) {
+						fp = fnvMixUint(fp, uint64(tx)<<8|uint64(o))
+					}
+				}
+				return fmt.Sprintf("%016x", fp)
+			},
+			Healthy: func() bool {
+				if len(started) == 0 {
+					return false
+				}
+				for _, tx := range started {
+					for _, o := range c.Outcomes(tx) {
+						if o == commit.Pending {
+							return false // a blocked cohort: 2PC's signature stall
+						}
+					}
+				}
+				return true
+			},
+			Stats: c.Stats,
+		}
+	}
+}
+
+// checkAtomic flags a transaction some cohorts committed and others
+// aborted. Pending cohorts are blocking, not unsafe.
+func checkAtomic(tx commit.TxID, outcomes []commit.Outcome) *Violation {
+	haveCommit, haveAbort := -1, -1
+	for i, o := range outcomes {
+		switch o {
+		case commit.Committed:
+			haveCommit = i
+		case commit.Aborted:
+			haveAbort = i
+		}
+	}
+	if haveCommit >= 0 && haveAbort >= 0 {
+		return &Violation{
+			Invariant: "atomic-commitment",
+			Detail: fmt.Sprintf("tx %d: cohort %d committed, cohort %d aborted",
+				tx, haveCommit, haveAbort),
+		}
+	}
+	return nil
+}

@@ -60,6 +60,17 @@ func (c *Cluster) RunPumped(ticks int) []types.Reply {
 	return replies
 }
 
+// TakeAllDecisions drains every replica's decision queue, indexed by
+// replica position. It consumes the same queue Pump does; use one or
+// the other per run.
+func (c *Cluster) TakeAllDecisions() [][]types.Decision {
+	out := make([][]types.Decision, len(c.Replicas))
+	for i, rep := range c.Replicas {
+		out[i] = rep.TakeDecisions()
+	}
+	return out
+}
+
 // Submit queues a request at every replica (any rotating leader will
 // include it; commit-time dedup keeps it exactly-once).
 func (c *Cluster) Submit(req types.Value) {

@@ -61,6 +61,17 @@ func (c *Cluster) RunPumped(ticks int) []types.Reply {
 	return replies
 }
 
+// TakeAllDecisions drains every replica's decision queue, indexed by
+// replica position. It consumes the same queue Pump does; use one or
+// the other per run.
+func (c *Cluster) TakeAllDecisions() [][]types.Decision {
+	out := make([][]types.Decision, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.TakeDecisions()
+	}
+	return out
+}
+
 // WaitLeader runs until some node believes it leads, returning it (nil on
 // timeout).
 func (c *Cluster) WaitLeader(maxTicks int) *Node {

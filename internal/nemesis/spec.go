@@ -1,0 +1,370 @@
+package nemesis
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fortyconsensus/internal/types"
+)
+
+// Spec is a replayable reproducer: everything needed to re-run one
+// campaign episode bit-identically — the protocol harness, cluster
+// size, seed, horizon, and the exact fault schedule — plus the trace
+// hash of the run it reproduces and, for shrunk violations, the
+// violated invariant.
+//
+// The wire form is a line-oriented text file:
+//
+//	nemesis/v1
+//	protocol raft
+//	nodes 5
+//	seed 42
+//	horizon 600
+//	hash 3fa9c1...            (optional)
+//	violation <free text>     (optional)
+//	events 4
+//	crash 10 2
+//	restart 60 2
+//	partition 30 0,1|2,3,4
+//	heal 90
+//	end
+type Spec struct {
+	Protocol  string
+	Nodes     int
+	Seed      uint64
+	Horizon   int
+	Hash      string // trace hash of the recorded run ("" = unrecorded)
+	Violation string // human-readable invariant violation ("" = none)
+	Schedule  Schedule
+}
+
+const specHeader = "nemesis/v1"
+
+// Encode renders the spec in canonical form: fixed field order, events
+// normalized by tick. Encoding the same spec always yields the same
+// bytes, so reproducers can be diffed and deduplicated.
+func (sp *Spec) Encode() []byte {
+	var b strings.Builder
+	b.WriteString(specHeader + "\n")
+	fmt.Fprintf(&b, "protocol %s\n", sp.Protocol)
+	fmt.Fprintf(&b, "nodes %d\n", sp.Nodes)
+	fmt.Fprintf(&b, "seed %d\n", sp.Seed)
+	fmt.Fprintf(&b, "horizon %d\n", sp.Horizon)
+	if sp.Hash != "" {
+		fmt.Fprintf(&b, "hash %s\n", sp.Hash)
+	}
+	if sp.Violation != "" {
+		fmt.Fprintf(&b, "violation %s\n", strings.ReplaceAll(sp.Violation, "\n", " "))
+	}
+	sched := Schedule{Events: append([]Event(nil), sp.Schedule.Events...)}
+	sched.Normalize()
+	fmt.Fprintf(&b, "events %d\n", len(sched.Events))
+	for _, e := range sched.Events {
+		b.WriteString(encodeEvent(e) + "\n")
+	}
+	b.WriteString("end\n")
+	return []byte(b.String())
+}
+
+func encodeEvent(e Event) string {
+	at := strconv.Itoa(e.At)
+	switch e.Op {
+	case OpCrash, OpRestart, OpByzClear:
+		return fmt.Sprintf("%s %s %d", e.Op, at, int(e.Node))
+	case OpByzantine:
+		return fmt.Sprintf("%s %s %d %s", e.Op, at, int(e.Node), e.Mode)
+	case OpPartition:
+		groups := make([]string, len(e.Groups))
+		for i, g := range e.Groups {
+			ids := make([]string, len(g))
+			for j, id := range g {
+				ids[j] = strconv.Itoa(int(id))
+			}
+			groups[i] = strings.Join(ids, ",")
+		}
+		return fmt.Sprintf("%s %s %s", e.Op, at, strings.Join(groups, "|"))
+	case OpHeal, OpDropClear, OpDupClear:
+		return fmt.Sprintf("%s %s", e.Op, at)
+	case OpCutLink, OpRestoreLink, OpDelayClear:
+		return fmt.Sprintf("%s %s %d %d", e.Op, at, int(e.From), int(e.To))
+	case OpDelaySet:
+		return fmt.Sprintf("%s %s %d %d %d %d", e.Op, at, int(e.From), int(e.To), e.Lo, e.Hi)
+	case OpDropRate, OpDupRate:
+		return fmt.Sprintf("%s %s %s", e.Op, at, strconv.FormatFloat(e.Rate, 'g', -1, 64))
+	}
+	return fmt.Sprintf("# unknown op %d", uint8(e.Op))
+}
+
+// opsByKeyword maps spec keywords back to ops.
+var opsByKeyword = func() map[string]Op {
+	m := map[string]Op{}
+	for o := OpCrash; o <= OpByzClear; o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
+// Keywords returns the sorted spec keywords of all initiating ops, for
+// CLI -classes parsing and usage text.
+func Keywords() []string {
+	var out []string
+	for kw, op := range opsByKeyword {
+		if !op.IsRecovery() {
+			out = append(out, kw)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassByKeyword resolves an initiating op from its keyword ("crash",
+// "partition", "cut", "delay", "drop", "dup", "byz").
+func ClassByKeyword(kw string) (Op, bool) {
+	op, ok := opsByKeyword[kw]
+	if !ok || op.IsRecovery() {
+		return 0, false
+	}
+	return op, true
+}
+
+// Decode parses a spec file produced by Encode (or written by hand).
+func Decode(data []byte) (*Spec, error) {
+	lines := strings.Split(string(data), "\n")
+	sp := &Spec{}
+	state := 0 // 0 = expect header, 1 = fields, 2 = events, 3 = done
+	wantEvents := -1
+	for ln, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("nemesis: spec line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		switch state {
+		case 0:
+			if line != specHeader {
+				return nil, errf("want header %q, got %q", specHeader, line)
+			}
+			state = 1
+		case 1, 2:
+			fields := strings.Fields(line)
+			key := fields[0]
+			if state == 1 {
+				done, err := sp.parseField(key, fields[1:], line)
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				if done {
+					wantEvents, err = strconv.Atoi(fields[1])
+					if err != nil {
+						return nil, errf("bad event count %q", fields[1])
+					}
+					state = 2
+				}
+				continue
+			}
+			if key == "end" {
+				state = 3
+				continue
+			}
+			e, err := decodeEvent(fields)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			sp.Schedule.Events = append(sp.Schedule.Events, e)
+		case 3:
+			return nil, errf("trailing content after end")
+		}
+	}
+	if state < 2 {
+		return nil, fmt.Errorf("nemesis: spec truncated (no events section)")
+	}
+	if state != 3 {
+		return nil, fmt.Errorf("nemesis: spec truncated (missing end)")
+	}
+	if wantEvents >= 0 && wantEvents != len(sp.Schedule.Events) {
+		return nil, fmt.Errorf("nemesis: spec declares %d events, has %d", wantEvents, len(sp.Schedule.Events))
+	}
+	if sp.Protocol == "" {
+		return nil, fmt.Errorf("nemesis: spec missing protocol")
+	}
+	if sp.Nodes <= 0 {
+		return nil, fmt.Errorf("nemesis: spec missing nodes")
+	}
+	if sp.Horizon <= 0 {
+		return nil, fmt.Errorf("nemesis: spec missing horizon")
+	}
+	if err := sp.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	sp.Schedule.Normalize()
+	return sp, nil
+}
+
+// parseField handles one header field; returns done=true on "events".
+func (sp *Spec) parseField(key string, args []string, line string) (bool, error) {
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s needs %d argument(s)", key, n)
+		}
+		return nil
+	}
+	switch key {
+	case "protocol":
+		if err := need(1); err != nil {
+			return false, err
+		}
+		sp.Protocol = args[0]
+	case "nodes":
+		if err := need(1); err != nil {
+			return false, err
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return false, fmt.Errorf("bad nodes %q", args[0])
+		}
+		sp.Nodes = n
+	case "seed":
+		if err := need(1); err != nil {
+			return false, err
+		}
+		s, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			return false, fmt.Errorf("bad seed %q", args[0])
+		}
+		sp.Seed = s
+	case "horizon":
+		if err := need(1); err != nil {
+			return false, err
+		}
+		h, err := strconv.Atoi(args[0])
+		if err != nil {
+			return false, fmt.Errorf("bad horizon %q", args[0])
+		}
+		sp.Horizon = h
+	case "hash":
+		if err := need(1); err != nil {
+			return false, err
+		}
+		sp.Hash = args[0]
+	case "violation":
+		sp.Violation = strings.TrimSpace(strings.TrimPrefix(line, "violation"))
+	case "events":
+		if err := need(1); err != nil {
+			return false, err
+		}
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown field %q", key)
+	}
+	return false, nil
+}
+
+func decodeEvent(fields []string) (Event, error) {
+	var e Event
+	op, ok := opsByKeyword[fields[0]]
+	if !ok {
+		return e, fmt.Errorf("unknown op %q", fields[0])
+	}
+	e.Op = op
+	args := fields[1:]
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s needs %d argument(s)", op, n)
+		}
+		return nil
+	}
+	atoi := func(s string) (int, error) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("%s: bad integer %q", op, s)
+		}
+		return n, nil
+	}
+	if err := need(1); err != nil {
+		return e, err
+	}
+	at, err := atoi(args[0])
+	if err != nil {
+		return e, err
+	}
+	e.At = at
+	args = args[1:]
+
+	switch op {
+	case OpCrash, OpRestart, OpByzClear, OpByzantine:
+		if err := need(1); err != nil {
+			return e, err
+		}
+		n, err := atoi(args[0])
+		if err != nil {
+			return e, err
+		}
+		e.Node = types.NodeID(n)
+		if op == OpByzantine {
+			if len(args) < 2 {
+				return e, fmt.Errorf("byz needs a mode")
+			}
+			e.Mode = args[1]
+		}
+	case OpPartition:
+		if err := need(1); err != nil {
+			return e, err
+		}
+		for _, part := range strings.Split(args[0], "|") {
+			var g []types.NodeID
+			for _, idStr := range strings.Split(part, ",") {
+				if idStr == "" {
+					continue
+				}
+				id, err := atoi(idStr)
+				if err != nil {
+					return e, err
+				}
+				g = append(g, types.NodeID(id))
+			}
+			if len(g) > 0 {
+				e.Groups = append(e.Groups, g)
+			}
+		}
+	case OpHeal, OpDropClear, OpDupClear:
+		// tick only
+	case OpCutLink, OpRestoreLink, OpDelayClear, OpDelaySet:
+		if err := need(2); err != nil {
+			return e, err
+		}
+		from, err := atoi(args[0])
+		if err != nil {
+			return e, err
+		}
+		to, err := atoi(args[1])
+		if err != nil {
+			return e, err
+		}
+		e.From, e.To = types.NodeID(from), types.NodeID(to)
+		if op == OpDelaySet {
+			if err := need(4); err != nil {
+				return e, err
+			}
+			if e.Lo, err = atoi(args[2]); err != nil {
+				return e, err
+			}
+			if e.Hi, err = atoi(args[3]); err != nil {
+				return e, err
+			}
+		}
+	case OpDropRate, OpDupRate:
+		if err := need(1); err != nil {
+			return e, err
+		}
+		rate, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return e, fmt.Errorf("%s: bad rate %q", op, args[0])
+		}
+		e.Rate = rate
+	}
+	return e, nil
+}

@@ -44,6 +44,19 @@ func (c *Cluster) AllDecided() bool {
 	return true
 }
 
+// DecidedValues returns each node's decided value, indexed by node
+// position, with nil for nodes that have not decided. (A decided nil
+// value cannot occur: proposers never propose nil.)
+func (c *Cluster) DecidedValues() []types.Value {
+	out := make([]types.Value, len(c.Nodes))
+	for i, n := range c.Nodes {
+		if d, ok := n.Decided(); ok {
+			out[i] = d
+		}
+	}
+	return out
+}
+
 // Agreement returns the decided value (nil if no node has decided) and
 // whether agreement holds: ok is false only when two nodes decided
 // different values — a safety violation. With zero or one decided node,

@@ -56,6 +56,17 @@ func (c *Cluster) RunPumped(ticks int) []types.Reply {
 	return replies
 }
 
+// TakeAllDecisions drains every replica's decision queue, indexed by
+// replica position. It consumes the same queue Pump does; use one or
+// the other per run.
+func (c *Cluster) TakeAllDecisions() [][]types.Decision {
+	out := make([][]types.Decision, len(c.Replicas))
+	for i, rep := range c.Replicas {
+		out[i] = rep.TakeDecisions()
+	}
+	return out
+}
+
 // Submit injects a client request at the given replica.
 func (c *Cluster) Submit(at types.NodeID, req types.Value) {
 	c.Inject(Message{Kind: MsgRequest, From: -1, To: at, Req: req})

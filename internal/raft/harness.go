@@ -57,6 +57,17 @@ func (c *Cluster) RunPumped(ticks int) []types.Reply {
 	return replies
 }
 
+// TakeAllDecisions drains every replica's decision queue, indexed by
+// replica position. It consumes the same queue Pump does; use one or
+// the other per run.
+func (c *Cluster) TakeAllDecisions() [][]types.Decision {
+	out := make([][]types.Decision, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.TakeDecisions()
+	}
+	return out
+}
+
 // WaitLeader runs until a live leader exists, returning it (nil on
 // timeout).
 func (c *Cluster) WaitLeader(maxTicks int) *Node {

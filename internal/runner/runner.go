@@ -57,12 +57,25 @@ type Config[M any] struct {
 
 // Stats aggregates message-complexity metrics for an experiment run.
 // The JSON tags serve cmd/consensus-bench -json.
+//
+// The fault-event counters record the run's fault exposure — how much
+// chaos the cluster was subjected to — so campaign output
+// (cmd/consensus-explore) and bench tables can report it alongside
+// message counts. Each counts applications of the corresponding
+// Cluster method, whether or not the call changed state (crashing an
+// already-crashed node still counts as an injected fault event).
 type Stats struct {
 	Sent      int            `json:"sent"`      // messages handed to the fabric
 	Delivered int            `json:"delivered"` // messages that reached a Step call
 	Dropped   int            `json:"dropped"`   // lost to drops, partitions, or crashes
 	ByKind    map[string]int `json:"byKind"`    // delivered counts per message kind
 	Ticks     int            `json:"ticks"`     // elapsed logical time
+
+	Crashes    int `json:"crashes,omitempty"`    // Crash calls
+	Restarts   int `json:"restarts,omitempty"`   // Restart calls
+	Partitions int `json:"partitions,omitempty"` // Partition calls
+	Heals      int `json:"heals,omitempty"`      // Heal calls
+	CutLinks   int `json:"cutLinks,omitempty"`   // CutLink calls
 }
 
 // event is one queued message. The sequence number breaks ties between
@@ -277,18 +290,89 @@ func (c *Cluster[M]) Crash(id types.NodeID) {
 		}
 		c.pausedUnknown[id] = true
 	}
+	c.stats.Crashes++
 	c.cfg.Fabric.Crash(id)
 }
 
 // Restart resumes a crashed node. Protocol state is whatever the node
-// object still holds; protocols that persist via WAL reload externally.
+// object still holds; protocols that persist via WAL reload externally
+// (replace the node via Add after restoring — see the raft crash-recovery
+// tests for the pattern).
 func (c *Cluster[M]) Restart(id types.NodeID) {
 	if s := c.slot(id); s != noSlot {
 		c.paused[s] = false
 	} else {
 		delete(c.pausedUnknown, id)
 	}
+	c.stats.Restarts++
 	c.cfg.Fabric.Restart(id)
+}
+
+// Partition splits the fabric into non-communicating groups (see
+// simnet.Fabric.Partition) and counts the fault event.
+func (c *Cluster[M]) Partition(groups ...[]types.NodeID) {
+	c.stats.Partitions++
+	c.cfg.Fabric.Partition(groups...)
+}
+
+// Heal removes any partition and counts the fault event.
+func (c *Cluster[M]) Heal() {
+	c.stats.Heals++
+	c.cfg.Fabric.Heal()
+}
+
+// CutLink severs the directed link from->to and counts the fault event.
+func (c *Cluster[M]) CutLink(from, to types.NodeID) {
+	c.stats.CutLinks++
+	c.cfg.Fabric.CutLink(from, to)
+}
+
+// RestoreLink restores a severed directed link.
+func (c *Cluster[M]) RestoreLink(from, to types.NodeID) {
+	c.cfg.Fabric.RestoreLink(from, to)
+}
+
+// SetLinkDelay and ClearLinkDelay forward per-link delay overrides to
+// the fabric so fault injectors can drive every network fault through
+// one surface (the nemesis Target interface).
+func (c *Cluster[M]) SetLinkDelay(from, to types.NodeID, lo, hi int) {
+	c.cfg.Fabric.SetLinkDelay(from, to, lo, hi)
+}
+
+// ClearLinkDelay removes a per-link delay override.
+func (c *Cluster[M]) ClearLinkDelay(from, to types.NodeID) {
+	c.cfg.Fabric.ClearLinkDelay(from, to)
+}
+
+// SetDropRate / ClearDropRate / SetDupRate / ClearDupRate forward
+// fabric-wide rate overrides (drop storms, duplication bursts).
+func (c *Cluster[M]) SetDropRate(p float64) { c.cfg.Fabric.SetDropRate(p) }
+func (c *Cluster[M]) ClearDropRate()        { c.cfg.Fabric.ClearDropRate() }
+func (c *Cluster[M]) SetDupRate(p float64)  { c.cfg.Fabric.SetDupRate(p) }
+func (c *Cluster[M]) ClearDupRate()         { c.cfg.Fabric.ClearDupRate() }
+
+// ArmByzantine installs a canned byzantine interceptor on node id.
+// The modes are protocol-agnostic (they rewrite the outbox without
+// inspecting message contents), which is what lets a generic fault
+// schedule arm them on any cluster:
+//
+//	mute  the node processes messages but sends nothing (fail-silent)
+//	dup   every outbound message is sent twice
+//
+// Unknown modes are ignored. DisarmByzantine removes the interceptor —
+// including any protocol-specific one installed via Intercept.
+func (c *Cluster[M]) ArmByzantine(id types.NodeID, mode string) {
+	switch mode {
+	case "mute":
+		c.Intercept(id, func(m M) []M { return nil })
+	case "dup":
+		c.Intercept(id, func(m M) []M { return []M{m, m} })
+	}
+}
+
+// DisarmByzantine removes node id's outbox interceptor.
+func (c *Cluster[M]) DisarmByzantine(id types.NodeID) {
+	c.Intercept(id, nil)
 }
 
 // Crashed reports whether id is currently crashed.
@@ -510,11 +594,16 @@ func GlobalStats() Stats {
 // GlobalStats snapshots.
 func (s Stats) Sub(prev Stats) Stats {
 	d := Stats{
-		Sent:      s.Sent - prev.Sent,
-		Delivered: s.Delivered - prev.Delivered,
-		Dropped:   s.Dropped - prev.Dropped,
-		Ticks:     s.Ticks - prev.Ticks,
-		ByKind:    make(map[string]int),
+		Sent:       s.Sent - prev.Sent,
+		Delivered:  s.Delivered - prev.Delivered,
+		Dropped:    s.Dropped - prev.Dropped,
+		Ticks:      s.Ticks - prev.Ticks,
+		Crashes:    s.Crashes - prev.Crashes,
+		Restarts:   s.Restarts - prev.Restarts,
+		Partitions: s.Partitions - prev.Partitions,
+		Heals:      s.Heals - prev.Heals,
+		CutLinks:   s.CutLinks - prev.CutLinks,
+		ByKind:     make(map[string]int),
 	}
 	for k, v := range s.ByKind {
 		if dv := v - prev.ByKind[k]; dv != 0 {
@@ -531,7 +620,13 @@ func (c *Cluster[M]) flushGlobal() {
 	dDelivered := c.stats.Delivered - c.flushed.Delivered
 	dDropped := c.stats.Dropped - c.flushed.Dropped
 	dTicks := c.now - c.flushedNow
-	if dSent == 0 && dDelivered == 0 && dDropped == 0 && dTicks == 0 {
+	dCrashes := c.stats.Crashes - c.flushed.Crashes
+	dRestarts := c.stats.Restarts - c.flushed.Restarts
+	dPartitions := c.stats.Partitions - c.flushed.Partitions
+	dHeals := c.stats.Heals - c.flushed.Heals
+	dCutLinks := c.stats.CutLinks - c.flushed.CutLinks
+	if dSent == 0 && dDelivered == 0 && dDropped == 0 && dTicks == 0 &&
+		dCrashes == 0 && dRestarts == 0 && dPartitions == 0 && dHeals == 0 && dCutLinks == 0 {
 		return
 	}
 	global.mu.Lock()
@@ -539,6 +634,11 @@ func (c *Cluster[M]) flushGlobal() {
 	global.s.Delivered += dDelivered
 	global.s.Dropped += dDropped
 	global.s.Ticks += dTicks
+	global.s.Crashes += dCrashes
+	global.s.Restarts += dRestarts
+	global.s.Partitions += dPartitions
+	global.s.Heals += dHeals
+	global.s.CutLinks += dCutLinks
 	if global.s.ByKind == nil {
 		global.s.ByKind = make(map[string]int)
 	}

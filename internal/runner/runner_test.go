@@ -381,3 +381,66 @@ func TestPendingAccounting(t *testing.T) {
 		t.Fatalf("node 1 received %d, want 4", nodes[1].received)
 	}
 }
+
+func TestFaultEventCounters(t *testing.T) {
+	c, _ := ringCluster(4, 3, nil)
+	c.Crash(1)
+	c.Crash(1) // counts again: exposure counts injections, not transitions
+	c.Restart(1)
+	c.Partition([]types.NodeID{0, 1}, []types.NodeID{2, 3})
+	c.Heal()
+	c.CutLink(0, 2)
+	c.CutLink(2, 0)
+	c.RestoreLink(0, 2)
+	st := c.Stats()
+	if st.Crashes != 2 || st.Restarts != 1 || st.Partitions != 1 || st.Heals != 1 || st.CutLinks != 2 {
+		t.Fatalf("fault counters = %+v", st)
+	}
+
+	// Counters flow through Sub like the message counters.
+	d := st.Sub(Stats{Crashes: 1, CutLinks: 1, ByKind: map[string]int{}})
+	if d.Crashes != 1 || d.CutLinks != 1 || d.Restarts != 1 {
+		t.Fatalf("Sub fault counters = %+v", d)
+	}
+
+	// And into the global aggregate at flush time.
+	before := GlobalStats()
+	c.Run(1)
+	diff := GlobalStats().Sub(before)
+	if diff.Crashes != 2 || diff.Restarts != 1 || diff.Partitions != 1 || diff.Heals != 1 || diff.CutLinks != 2 {
+		t.Fatalf("global fault counters = %+v", diff)
+	}
+}
+
+func TestArmByzantineModes(t *testing.T) {
+	// mute: node 1 receives but relays nothing, so the ring stops there.
+	c, nodes := ringCluster(3, 6, nil)
+	c.ArmByzantine(1, "mute")
+	c.Inject(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"})
+	c.Run(20)
+	if nodes[2].received != 0 {
+		t.Fatalf("mute: node 2 received %d messages, want 0", nodes[2].received)
+	}
+	if nodes[1].received != 1 {
+		t.Fatalf("mute: node 1 received %d, want 1", nodes[1].received)
+	}
+
+	// dup: node 1 sends everything twice, so downstream counts double.
+	c2, nodes2 := ringCluster(3, 2, nil)
+	c2.ArmByzantine(1, "dup")
+	c2.Inject(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"})
+	c2.Run(20)
+	if nodes2[2].received != 2 {
+		t.Fatalf("dup: node 2 received %d, want 2", nodes2[2].received)
+	}
+
+	// disarm restores normal relaying.
+	c3, nodes3 := ringCluster(3, 6, nil)
+	c3.ArmByzantine(1, "mute")
+	c3.DisarmByzantine(1)
+	c3.Inject(pingMsg{from: -1, to: 0, hop: 0, kind: "ping"})
+	c3.Run(20)
+	if nodes3[2].received == 0 {
+		t.Fatal("disarm: node 2 received nothing")
+	}
+}

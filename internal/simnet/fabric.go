@@ -57,8 +57,9 @@ type link struct{ from, to types.NodeID }
 // and tracks the cluster's partition state. It is not safe for concurrent
 // use; the runner drives it from a single goroutine.
 type Fabric struct {
-	opt Options
-	rng *RNG
+	opt  Options
+	base Options // construction-time options, for Clear* restores
+	rng  *RNG
 
 	// partition maps each node to a group number; nodes in different
 	// groups cannot exchange messages. Empty map = fully connected.
@@ -76,6 +77,7 @@ func NewFabric(opt Options) *Fabric {
 	opt = opt.withDefaults()
 	return &Fabric{
 		opt:       opt,
+		base:      opt,
 		rng:       NewRNG(opt.Seed),
 		partition: make(map[types.NodeID]int),
 		downed:    make(map[types.NodeID]bool),
@@ -166,16 +168,59 @@ func (f *Fabric) Down(n types.NodeID) bool {
 }
 
 // SetLinkDelay overrides the delay bounds for the directed link from->to.
+// Bounds are validated so generated delay storms can never reach
+// rng.Range with an inverted or non-positive interval: swapped bounds
+// (lo > hi) are reordered, and anything below one tick is clamped to
+// one, mirroring Options.withDefaults.
 func (f *Fabric) SetLinkDelay(from, to types.NodeID, lo, hi int) {
-	if lo <= 0 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo < 1 {
 		lo = 1
 	}
-	if hi < lo {
-		hi = lo
+	if hi < 1 {
+		hi = 1
 	}
 	f.linkDelay[link{from, to}] = [2]int{lo, hi}
+}
+
+// ClearLinkDelay removes a per-link delay override, restoring the
+// fabric-wide bounds for from->to.
+func (f *Fabric) ClearLinkDelay(from, to types.NodeID) {
+	delete(f.linkDelay, link{from, to})
 }
 
 // CutLink severs the directed link from->to; RestoreLink undoes it.
 func (f *Fabric) CutLink(from, to types.NodeID)     { f.linkCut[link{from, to}] = true }
 func (f *Fabric) RestoreLink(from, to types.NodeID) { delete(f.linkCut, link{from, to}) }
+
+// clampRate confines a probability to [0,1].
+func clampRate(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// SetDropRate overrides the fabric-wide message loss probability (a
+// nemesis "drop storm"); ClearDropRate restores the construction-time
+// rate. Note that raising a rate from zero makes Classify start
+// consuming the RNG for drop decisions, so the delay stream shifts —
+// a run's schedule is reproducible from (seed, fault schedule), not
+// from the seed alone.
+func (f *Fabric) SetDropRate(p float64) { f.opt.DropRate = clampRate(p) }
+
+// ClearDropRate restores the construction-time drop rate.
+func (f *Fabric) ClearDropRate() { f.opt.DropRate = f.base.DropRate }
+
+// SetDupRate overrides the fabric-wide duplication probability (a
+// nemesis "dup burst"); ClearDupRate restores the construction-time
+// rate. The same RNG-stream caveat as SetDropRate applies.
+func (f *Fabric) SetDupRate(p float64) { f.opt.DupRate = clampRate(p) }
+
+// ClearDupRate restores the construction-time duplication rate.
+func (f *Fabric) ClearDupRate() { f.opt.DupRate = f.base.DupRate }

@@ -201,3 +201,90 @@ func TestFabricSelfDelivery(t *testing.T) {
 		t.Fatalf("loopback delay = %d, want 1", v.Delay)
 	}
 }
+
+func TestSetLinkDelayValidation(t *testing.T) {
+	f := NewFabric(Options{Seed: 7})
+
+	// Swapped bounds are reordered, not collapsed.
+	f.SetLinkDelay(0, 1, 9, 4)
+	lo, hi := 1<<30, 0
+	for i := 0; i < 200; i++ {
+		v, _, _ := f.Classify(0, 1)
+		if v.Delay < 4 || v.Delay > 9 {
+			t.Fatalf("swapped bounds: delay %d outside [4,9]", v.Delay)
+		}
+		if v.Delay < lo {
+			lo = v.Delay
+		}
+		if v.Delay > hi {
+			hi = v.Delay
+		}
+	}
+	if lo == hi {
+		t.Fatalf("swapped bounds collapsed to a single delay %d; want the full [4,9] range", lo)
+	}
+
+	// Negative and zero bounds clamp to one tick.
+	f.SetLinkDelay(0, 2, -5, -3)
+	for i := 0; i < 50; i++ {
+		if v, _, _ := f.Classify(0, 2); v.Delay != 1 {
+			t.Fatalf("negative bounds: delay %d, want 1", v.Delay)
+		}
+	}
+	f.SetLinkDelay(0, 3, 0, 6)
+	for i := 0; i < 200; i++ {
+		v, _, _ := f.Classify(0, 3)
+		if v.Delay < 1 || v.Delay > 6 {
+			t.Fatalf("zero lower bound: delay %d outside [1,6]", v.Delay)
+		}
+	}
+	// Swapped pair straddling zero: (3, -2) -> [1,3].
+	f.SetLinkDelay(0, 4, 3, -2)
+	for i := 0; i < 200; i++ {
+		v, _, _ := f.Classify(0, 4)
+		if v.Delay < 1 || v.Delay > 3 {
+			t.Fatalf("straddling bounds: delay %d outside [1,3]", v.Delay)
+		}
+	}
+}
+
+func TestClearLinkDelay(t *testing.T) {
+	f := NewFabric(Options{Seed: 11})
+	f.SetLinkDelay(0, 1, 50, 60)
+	if v, _, _ := f.Classify(0, 1); v.Delay < 50 {
+		t.Fatalf("override not applied: %d", v.Delay)
+	}
+	f.ClearLinkDelay(0, 1)
+	if v, _, _ := f.Classify(0, 1); v.Delay != 1 {
+		t.Fatalf("override not cleared: delay %d, want default 1", v.Delay)
+	}
+}
+
+func TestRateOverrides(t *testing.T) {
+	f := NewFabric(Options{Seed: 13})
+	f.SetDropRate(1)
+	if v, _, _ := f.Classify(0, 1); !v.Drop {
+		t.Fatal("SetDropRate(1) did not drop")
+	}
+	f.ClearDropRate()
+	if v, _, _ := f.Classify(0, 1); v.Drop {
+		t.Fatal("ClearDropRate did not restore the base rate")
+	}
+	f.SetDupRate(1)
+	if _, _, hasDup := f.Classify(0, 1); !hasDup {
+		t.Fatal("SetDupRate(1) did not duplicate")
+	}
+	f.ClearDupRate()
+	if _, _, hasDup := f.Classify(0, 1); hasDup {
+		t.Fatal("ClearDupRate did not restore the base rate")
+	}
+	// Out-of-range rates clamp instead of corrupting probabilities.
+	f.SetDropRate(7)
+	if v, _, _ := f.Classify(0, 1); !v.Drop {
+		t.Fatal("SetDropRate(7) should clamp to 1")
+	}
+	f.SetDropRate(-3)
+	if v, _, _ := f.Classify(0, 1); v.Drop {
+		t.Fatal("SetDropRate(-3) should clamp to 0")
+	}
+}
