@@ -6,7 +6,12 @@ GO ?= go
 # proportionate.
 RACE_PKGS := ./internal/runner ./internal/simnet ./internal/experiments
 
-.PHONY: all build test test-race bench golden lint explore ci
+# The sharded-KV stack gated explicitly in ci: the cross-shard 2PC
+# tests and the explore campaign regression are this repo's tier-1
+# atomic-commitment evidence.
+SHARD_PKGS := ./internal/shard/... ./internal/explore ./internal/workload
+
+.PHONY: all build test test-race bench golden lint explore ci cover
 
 all: build test
 
@@ -34,10 +39,19 @@ explore:
 	$(GO) run ./cmd/consensus-explore -protocol all -seeds 24 -faults 4
 
 # Full gate: everything CI runs, in order. The golden step verifies the
-# pinned experiment artifacts byte-for-byte (no -update).
+# pinned experiment artifacts byte-for-byte (no -update), and the shard
+# stack runs uncached so the 2PC and linearizability tests always fire.
 ci: build lint explore
 	$(GO) test -race ./...
+	$(GO) test $(SHARD_PKGS) -count=1
 	$(GO) test ./internal/experiments -run TestGoldenArtifacts -count=1
+
+# Aggregate statement coverage across every package. The baseline at
+# the time cover was added is recorded in README.md ("Coverage"); a
+# drop below it warrants a look at what stopped being exercised.
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./internal/... ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Micro-benchmarks for the simulation hot path (runner event loop,
 # SHA256d mining substrate, PoW mining loop).

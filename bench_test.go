@@ -48,6 +48,7 @@ func BenchmarkF11_SpannerStyle2PC(b *testing.B)       { benchExperiment(b, "f11"
 func BenchmarkF12_CheapSwitch(b *testing.B)           { benchExperiment(b, "f12") }
 func BenchmarkX1_SelfishMining(b *testing.B)          { benchExperiment(b, "x1") }
 func BenchmarkX2_SMRThroughput(b *testing.B)          { benchExperiment(b, "x2") }
+func BenchmarkX4_ShardedTxns(b *testing.B)            { benchExperiment(b, "x4") }
 
 // TestExperimentsRegenerate smoke-runs every experiment so `go test`
 // alone exercises the full reproduction path.

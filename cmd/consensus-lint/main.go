@@ -59,6 +59,10 @@ var exemptPrefixes = []string{
 	"internal/wal",
 	"internal/nemesis",
 	"internal/explore",
+	// Test-support harness: the linearizability checker runs only inside
+	// tests, not inside replicated state machines. internal/shard itself
+	// stays checked — its Store/Coordinator are protocol code.
+	"internal/shard/histcheck",
 }
 
 // quorumlitExempt additionally skips quorumlit where the arithmetic

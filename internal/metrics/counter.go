@@ -1,0 +1,42 @@
+package metrics
+
+// CounterSet is an ordered collection of named uint64 counters —
+// per-shard commit/abort tallies, per-transaction-class counts, and the
+// like. Names keep first-Add insertion order so rendered output is
+// deterministic without sorting at read time.
+type CounterSet struct {
+	names []string
+	vals  map[string]uint64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{vals: make(map[string]uint64)}
+}
+
+// Add increments the named counter by delta, creating it at zero first.
+func (c *CounterSet) Add(name string, delta uint64) {
+	if _, ok := c.vals[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.vals[name] += delta
+}
+
+// Get returns the named counter's value (zero if absent).
+func (c *CounterSet) Get(name string) uint64 { return c.vals[name] }
+
+// Names returns the counter names in first-Add order.
+func (c *CounterSet) Names() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// Total sums every counter.
+func (c *CounterSet) Total() uint64 {
+	var t uint64
+	for _, n := range c.names {
+		t += c.vals[n]
+	}
+	return t
+}

@@ -1,0 +1,256 @@
+package shard
+
+import (
+	"fmt"
+
+	"fortyconsensus/internal/multipaxos"
+	"fortyconsensus/internal/nemesis"
+	"fortyconsensus/internal/pbft"
+	"fortyconsensus/internal/raft"
+	"fortyconsensus/internal/runner"
+	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/smr"
+	"fortyconsensus/internal/types"
+)
+
+// Group is one shard's replicated SMR group: a consensus cluster whose
+// replicas apply Store. The consensus protocol is pluggable — any
+// harness that can submit to a leader, step its runner, and expose its
+// decision streams and fault surface fits.
+type Group interface {
+	nemesis.Target
+	nemesis.ByzTarget
+
+	// Step advances the group's runner one tick.
+	Step()
+	// Submit hands an encoded client request to the current live
+	// leader, reporting whether one was found. A false return is not an
+	// error: the caller retries after the group re-stabilizes.
+	Submit(v types.Value) bool
+	// Pump drains newly committed decisions into the per-replica
+	// executors and returns the (replies, per-replica decisions) both
+	// produced this tick.
+	Pump() ([]types.Reply, [][]types.Decision)
+	// Crashed reports whether the replica with the given local ID is
+	// currently crashed.
+	Crashed(local types.NodeID) bool
+	// Replicas returns the group size.
+	Replicas() int
+	// Stores returns the per-replica shard state machines.
+	Stores() []*Store
+	// Stats returns the group runner's message and fault counters.
+	Stats() runner.Stats
+}
+
+// Backends supported by NewGroup.
+const (
+	BackendRaft       = "raft"
+	BackendMultiPaxos = "multipaxos"
+	BackendPBFT       = "pbft"
+)
+
+// NewGroup builds one shard group of the named backend over its own
+// seeded fabric. PBFT sizes itself to 3f+1 >= replicas.
+func NewGroup(backend string, replicas int, seed uint64) (Group, error) {
+	fabric := simnet.NewFabric(simnet.Options{MinDelay: 1, MaxDelay: 3, Seed: seed})
+	switch backend {
+	case BackendRaft:
+		g := &raftGroup{stores: newStores(replicas)}
+		g.c = raft.NewCluster(replicas, fabric, raft.Config{Seed: seed}, nil)
+		g.execs = newExecs(replicas, g.stores)
+		return g, nil
+	case BackendMultiPaxos:
+		g := &paxosGroup{stores: newStores(replicas)}
+		g.c = multipaxos.NewCluster(replicas, fabric, multipaxos.Config{Seed: seed}, nil)
+		g.execs = newExecs(replicas, g.stores)
+		return g, nil
+	case BackendPBFT:
+		f := (replicas - 1) / 3
+		if f < 1 {
+			f = 1
+		}
+		g := &pbftGroup{}
+		g.c = pbft.NewCluster(f, fabric, pbft.Config{}, nil)
+		n := len(g.c.Replicas)
+		g.stores = newStores(n)
+		g.execs = newExecs(n, g.stores)
+		return g, nil
+	default:
+		return nil, fmt.Errorf("shard: unknown backend %q", backend)
+	}
+}
+
+func newStores(n int) []*Store {
+	stores := make([]*Store, n)
+	for i := range stores {
+		stores[i] = NewStore()
+	}
+	return stores
+}
+
+func newExecs(n int, stores []*Store) []*smr.Executor {
+	execs := make([]*smr.Executor, n)
+	for i := range execs {
+		execs[i] = smr.NewExecutor(types.NodeID(i), stores[i])
+	}
+	return execs
+}
+
+// pump drains decision streams into executors, producing replies. The
+// shared shape of every backend's Pump.
+func pump(execs []*smr.Executor, all [][]types.Decision) []types.Reply {
+	var replies []types.Reply
+	for i, ds := range all {
+		for _, d := range ds {
+			replies = append(replies, execs[i].Commit(d)...)
+		}
+	}
+	return replies
+}
+
+// --- Raft backend ---
+
+type raftGroup struct {
+	c      *raft.Cluster
+	execs  []*smr.Executor
+	stores []*Store
+}
+
+func (g *raftGroup) Step() { g.c.Cluster.Step() }
+
+// Submit hands v to every live node claiming leadership: under a
+// partition a deposed leader may still claim the title, and stopping
+// at the first claimant would starve the majority side's real leader.
+// Duplicates are deduplicated by the smr executor's (client, seqno)
+// cache, so over-submitting is safe.
+func (g *raftGroup) Submit(v types.Value) bool {
+	sent := false
+	for i, n := range g.c.Nodes {
+		if !g.c.Crashed(types.NodeID(i)) && n.IsLeader() {
+			n.Submit(v)
+			sent = true
+		}
+	}
+	return sent
+}
+
+func (g *raftGroup) Pump() ([]types.Reply, [][]types.Decision) {
+	ds := g.c.TakeAllDecisions()
+	return pump(g.execs, ds), ds
+}
+
+func (g *raftGroup) Crashed(local types.NodeID) bool { return g.c.Crashed(local) }
+func (g *raftGroup) Replicas() int                   { return len(g.c.Nodes) }
+func (g *raftGroup) Stores() []*Store                { return g.stores }
+func (g *raftGroup) Stats() runner.Stats             { return g.c.Stats() }
+
+func (g *raftGroup) Crash(id types.NodeID)                             { g.c.Crash(id) }
+func (g *raftGroup) Restart(id types.NodeID)                           { g.c.Restart(id) }
+func (g *raftGroup) Partition(groups ...[]types.NodeID)                { g.c.Partition(groups...) }
+func (g *raftGroup) Heal()                                             { g.c.Heal() }
+func (g *raftGroup) CutLink(from, to types.NodeID)                     { g.c.CutLink(from, to) }
+func (g *raftGroup) RestoreLink(from, to types.NodeID)                 { g.c.RestoreLink(from, to) }
+func (g *raftGroup) SetLinkDelay(from, to types.NodeID, lo, hi int)    { g.c.SetLinkDelay(from, to, lo, hi) }
+func (g *raftGroup) ClearLinkDelay(from, to types.NodeID)              { g.c.ClearLinkDelay(from, to) }
+func (g *raftGroup) SetDropRate(p float64)                             { g.c.SetDropRate(p) }
+func (g *raftGroup) ClearDropRate()                                    { g.c.ClearDropRate() }
+func (g *raftGroup) SetDupRate(p float64)                              { g.c.SetDupRate(p) }
+func (g *raftGroup) ClearDupRate()                                     { g.c.ClearDupRate() }
+func (g *raftGroup) ArmByzantine(id types.NodeID, mode string)         { g.c.ArmByzantine(id, mode) }
+func (g *raftGroup) DisarmByzantine(id types.NodeID)                   { g.c.DisarmByzantine(id) }
+
+// --- Multi-Paxos backend ---
+
+type paxosGroup struct {
+	c      *multipaxos.Cluster
+	execs  []*smr.Executor
+	stores []*Store
+}
+
+func (g *paxosGroup) Step() { g.c.Cluster.Step() }
+
+// Submit mirrors raftGroup.Submit: every live leadership claimant
+// gets the request; smr dedup absorbs the duplicates.
+func (g *paxosGroup) Submit(v types.Value) bool {
+	sent := false
+	for i, n := range g.c.Nodes {
+		if !g.c.Crashed(types.NodeID(i)) && n.IsLeader() {
+			n.Submit(v)
+			sent = true
+		}
+	}
+	return sent
+}
+
+func (g *paxosGroup) Pump() ([]types.Reply, [][]types.Decision) {
+	ds := g.c.TakeAllDecisions()
+	return pump(g.execs, ds), ds
+}
+
+func (g *paxosGroup) Crashed(local types.NodeID) bool { return g.c.Crashed(local) }
+func (g *paxosGroup) Replicas() int                   { return len(g.c.Nodes) }
+func (g *paxosGroup) Stores() []*Store                { return g.stores }
+func (g *paxosGroup) Stats() runner.Stats             { return g.c.Stats() }
+
+func (g *paxosGroup) Crash(id types.NodeID)                          { g.c.Crash(id) }
+func (g *paxosGroup) Restart(id types.NodeID)                        { g.c.Restart(id) }
+func (g *paxosGroup) Partition(groups ...[]types.NodeID)             { g.c.Partition(groups...) }
+func (g *paxosGroup) Heal()                                          { g.c.Heal() }
+func (g *paxosGroup) CutLink(from, to types.NodeID)                  { g.c.CutLink(from, to) }
+func (g *paxosGroup) RestoreLink(from, to types.NodeID)              { g.c.RestoreLink(from, to) }
+func (g *paxosGroup) SetLinkDelay(from, to types.NodeID, lo, hi int) { g.c.SetLinkDelay(from, to, lo, hi) }
+func (g *paxosGroup) ClearLinkDelay(from, to types.NodeID)           { g.c.ClearLinkDelay(from, to) }
+func (g *paxosGroup) SetDropRate(p float64)                          { g.c.SetDropRate(p) }
+func (g *paxosGroup) ClearDropRate()                                 { g.c.ClearDropRate() }
+func (g *paxosGroup) SetDupRate(p float64)                           { g.c.SetDupRate(p) }
+func (g *paxosGroup) ClearDupRate()                                  { g.c.ClearDupRate() }
+func (g *paxosGroup) ArmByzantine(id types.NodeID, mode string)      { g.c.ArmByzantine(id, mode) }
+func (g *paxosGroup) DisarmByzantine(id types.NodeID)                { g.c.DisarmByzantine(id) }
+
+// --- PBFT backend ---
+
+type pbftGroup struct {
+	c      *pbft.Cluster
+	execs  []*smr.Executor
+	stores []*Store
+}
+
+func (g *pbftGroup) Step() { g.c.Cluster.Step() }
+
+// Submit enters through the first live replica: PBFT backups forward
+// client requests to the primary, so any live entry point works.
+func (g *pbftGroup) Submit(v types.Value) bool {
+	for i := range g.c.Replicas {
+		id := types.NodeID(i)
+		if !g.c.Crashed(id) {
+			g.c.Submit(id, v)
+			return true
+		}
+	}
+	return false
+}
+
+func (g *pbftGroup) Pump() ([]types.Reply, [][]types.Decision) {
+	ds := g.c.TakeAllDecisions()
+	return pump(g.execs, ds), ds
+}
+
+func (g *pbftGroup) Crashed(local types.NodeID) bool { return g.c.Crashed(local) }
+func (g *pbftGroup) Replicas() int                   { return len(g.c.Replicas) }
+func (g *pbftGroup) Stores() []*Store                { return g.stores }
+func (g *pbftGroup) Stats() runner.Stats             { return g.c.Stats() }
+
+func (g *pbftGroup) Crash(id types.NodeID)                          { g.c.Crash(id) }
+func (g *pbftGroup) Restart(id types.NodeID)                        { g.c.Restart(id) }
+func (g *pbftGroup) Partition(groups ...[]types.NodeID)             { g.c.Partition(groups...) }
+func (g *pbftGroup) Heal()                                          { g.c.Heal() }
+func (g *pbftGroup) CutLink(from, to types.NodeID)                  { g.c.CutLink(from, to) }
+func (g *pbftGroup) RestoreLink(from, to types.NodeID)              { g.c.RestoreLink(from, to) }
+func (g *pbftGroup) SetLinkDelay(from, to types.NodeID, lo, hi int) { g.c.SetLinkDelay(from, to, lo, hi) }
+func (g *pbftGroup) ClearLinkDelay(from, to types.NodeID)           { g.c.ClearLinkDelay(from, to) }
+func (g *pbftGroup) SetDropRate(p float64)                          { g.c.SetDropRate(p) }
+func (g *pbftGroup) ClearDropRate()                                 { g.c.ClearDropRate() }
+func (g *pbftGroup) SetDupRate(p float64)                           { g.c.SetDupRate(p) }
+func (g *pbftGroup) ClearDupRate()                                  { g.c.ClearDupRate() }
+func (g *pbftGroup) ArmByzantine(id types.NodeID, mode string)      { g.c.ArmByzantine(id, mode) }
+func (g *pbftGroup) DisarmByzantine(id types.NodeID)                { g.c.DisarmByzantine(id) }

@@ -30,6 +30,80 @@ func TestRequestCodec(t *testing.T) {
 	}
 }
 
+// TestDecodeRequestTable sweeps DecodeRequest over truncated,
+// boundary-sized, and mutated encodings: anything under the 16-byte
+// header is ErrDecode, exactly 16 bytes is a valid empty-op request,
+// and no input may panic.
+func TestDecodeRequestTable(t *testing.T) {
+	full := EncodeRequest(types.Request{Client: 3, SeqNo: 99, Op: types.Value("op-bytes")})
+	cases := []struct {
+		name    string
+		in      types.Value
+		wantErr bool
+		want    types.Request
+	}{
+		{name: "nil", in: nil, wantErr: true},
+		{name: "empty", in: types.Value{}, wantErr: true},
+		{name: "1-byte", in: full[:1], wantErr: true},
+		{name: "half-header", in: full[:8], wantErr: true},
+		{name: "header-minus-1", in: full[:15], wantErr: true},
+		{name: "exact-header", in: full[:16],
+			want: types.Request{Client: 3, SeqNo: 99}},
+		{name: "full", in: full,
+			want: types.Request{Client: 3, SeqNo: 99, Op: types.Value("op-bytes")}},
+		{name: "trailing-grows-op", in: append(full.Clone(), 0xFF),
+			want: types.Request{Client: 3, SeqNo: 99, Op: append(types.Value("op-bytes"), 0xFF)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DecodeRequest(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("decoded %d bytes without error: %+v", len(tc.in), got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Client != tc.want.Client || got.SeqNo != tc.want.SeqNo || !got.Op.Equal(tc.want.Op) {
+				t.Fatalf("got %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeRequestMutationsNeverPanic flips every byte of a valid
+// encoding and truncates at every length: decode must return a value
+// or ErrDecode, never panic.
+func TestDecodeRequestMutationsNeverPanic(t *testing.T) {
+	base := EncodeRequest(types.Request{Client: 1, SeqNo: 2, Op: types.Value("xyz")})
+	for i := range base {
+		mut := base.Clone()
+		mut[i] ^= 0xA5
+		DecodeRequest(mut)
+		DecodeRequest(base[:i])
+	}
+}
+
+// TestDedupRetriedSeqnoAfterLater documents the executor's dedup
+// hazard: once a client's seqno advances, a stale retry of an OLDER
+// seqno returns the LATEST cached reply labelled with the old seqno.
+// Coordinators must therefore never reuse a seqno for a different
+// request (shard's coordinator reissues with fresh seqnos).
+func TestDedupRetriedSeqnoAfterLater(t *testing.T) {
+	e := NewExecutor(0, kvstore.New())
+	e.Commit(types.Decision{Slot: 1, Val: req(5, 1, kvstore.Incr("n", 1))})
+	e.Commit(types.Decision{Slot: 2, Val: req(5, 2, kvstore.Incr("n", 10))})
+	r := e.Commit(types.Decision{Slot: 3, Val: req(5, 1, kvstore.Incr("n", 1))})
+	if len(r) != 1 || r[0].SeqNo != 1 {
+		t.Fatalf("stale retry replies = %+v", r)
+	}
+	if !r[0].Result.Equal(types.Value("11")) {
+		t.Fatalf("stale retry returned %q; the documented hazard is the cached latest reply (11)", r[0].Result)
+	}
+}
+
 func TestExecutorInOrderApply(t *testing.T) {
 	e := NewExecutor(0, kvstore.New())
 	r1 := e.Commit(types.Decision{Slot: 1, Val: req(1, 1, kvstore.Put("a", []byte("1")))})
