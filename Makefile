@@ -3,15 +3,21 @@ GO ?= go
 
 # The packages whose event loops and experiment harness run goroutines;
 # test-race covers them specifically so the race detector's cost stays
-# proportionate.
-RACE_PKGS := ./internal/runner ./internal/simnet ./internal/experiments
+# proportionate. explore's campaign worker pool and the shard stack it
+# drives joined the list when campaigns went parallel.
+RACE_PKGS := ./internal/runner ./internal/simnet ./internal/experiments ./internal/explore ./internal/shard/...
 
 # The sharded-KV stack gated explicitly in ci: the cross-shard 2PC
 # tests and the explore campaign regression are this repo's tier-1
 # atomic-commitment evidence.
 SHARD_PKGS := ./internal/shard/... ./internal/explore ./internal/workload
 
-.PHONY: all build test test-race bench golden lint explore ci cover
+# Everything `make bench` measures: the simulation hot path plus the
+# protocol hot paths the allocation discipline tracks (raft append,
+# shard 2PC commit, explore episodes and campaign scaling).
+BENCH_PKGS := ./internal/runner ./internal/chaincrypto ./internal/pow ./internal/raft ./internal/shard ./internal/explore
+
+.PHONY: all build test test-race bench bench-json golden lint explore ci cover
 
 all: build test
 
@@ -33,10 +39,12 @@ test-race:
 	$(GO) test -race $(RACE_PKGS)
 
 # Bounded deterministic fault campaign: every registered protocol, a
-# fixed seed window, the default crash-model fault mix. Exit 1 means an
-# invariant was violated and a reproducer was printed.
+# fixed seed window, the default crash-model fault mix. Episodes fan
+# out across GOMAXPROCS workers (-workers 0) with bit-identical
+# results, which is what pays for the doubled seed window. Exit 1
+# means an invariant was violated and a reproducer was printed.
 explore:
-	$(GO) run ./cmd/consensus-explore -protocol all -seeds 24 -faults 4
+	$(GO) run ./cmd/consensus-explore -protocol all -seeds 48 -faults 4 -workers 0
 
 # Full gate: everything CI runs, in order. The golden step verifies the
 # pinned experiment artifacts byte-for-byte (no -update), and the shard
@@ -53,10 +61,19 @@ cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=./internal/... ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-# Micro-benchmarks for the simulation hot path (runner event loop,
-# SHA256d mining substrate, PoW mining loop).
+# Micro-benchmarks for the simulation and protocol hot paths (runner
+# event loop, SHA256d mining substrate, PoW mining loop, raft leader
+# append, shard 2PC commit, explore episodes/campaign scaling).
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./internal/runner ./internal/chaincrypto ./internal/pow
+	$(GO) test -bench=. -benchmem -run=^$$ $(BENCH_PKGS)
+
+# Machine-readable benchmark record: same sweep as `make bench`,
+# rendered to BENCH_7.json (ns/op, B/op, allocs/op per benchmark) for
+# mechanical before/after comparison across PRs.
+bench-json:
+	$(GO) test -bench=. -benchmem -run=^$$ $(BENCH_PKGS) > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_7.json < bench.out
+	@rm -f bench.out
 
 # Re-record the experiment golden artifacts after an intentional
 # output change. Review the diff before committing.

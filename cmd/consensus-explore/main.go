@@ -3,8 +3,13 @@
 // invariant suite checked every tick, automatic shrinking of failing
 // schedules, and bit-identical replay of reproducer files.
 //
+// Episodes fan out across a worker pool (-workers, default GOMAXPROCS)
+// and merge in canonical seed order, so every report and reproducer is
+// bit-identical to a sequential sweep.
+//
 //	consensus-explore -protocol raft -seeds 500 -faults 6
 //	consensus-explore -protocol all -seeds 24 -faults 4 -shrink -out /tmp/repro
+//	consensus-explore -protocol shard -seeds 64 -workers 8
 //	consensus-explore -replay /tmp/repro/raft-seed42.nemesis
 //
 // Exit status: 0 when every run is safe, 1 when any invariant was
@@ -18,6 +23,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"fortyconsensus/internal/explore"
 	"fortyconsensus/internal/nemesis"
@@ -37,6 +43,7 @@ func run() int {
 		horizon  = flag.Int("horizon", 0, "run length in ticks (0 = protocol default)")
 		classes  = flag.String("classes", "", "comma-separated fault classes ("+strings.Join(nemesis.Keywords(), ", ")+"); default crash-model mix")
 		shrink   = flag.Bool("shrink", true, "shrink failing schedules to minimal reproducers")
+		workers  = flag.Int("workers", 0, "episode worker pool size (0 = GOMAXPROCS, 1 = sequential); results are bit-identical at any setting")
 		out      = flag.String("out", "", "directory for reproducer .nemesis files (default: don't write)")
 		replay   = flag.String("replay", "", "replay a reproducer spec file and verify its trace hash")
 		verbose  = flag.Bool("v", false, "log every run")
@@ -82,14 +89,21 @@ func run() int {
 		c := explore.Campaign{
 			Proto: p, Seeds: *seeds, SeedBase: *seedBase, Faults: *faults,
 			Nodes: *nodes, Horizon: *horizon, Classes: ops, Shrink: *shrink,
+			Workers: *workers,
 		}
 		if *verbose {
 			c.Log = func(format string, args ...any) {
 				fmt.Printf("  ["+p.Name+"] "+format+"\n", args...)
 			}
 		}
+		start := time.Now()
 		res := c.Run()
+		elapsed := time.Since(start)
 		printCampaign(res)
+		if secs := elapsed.Seconds(); secs > 0 && res.Runs > 0 {
+			fmt.Printf("  %d episode(s) in %.2fs — %.1f episodes/sec\n",
+				res.Runs, secs, float64(res.Runs)/secs)
+		}
 		violations += res.Outcomes[explore.OutcomeViolation]
 		if *out != "" {
 			if err := writeFailures(*out, res); err != nil {

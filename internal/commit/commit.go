@@ -218,7 +218,7 @@ func (c *Coordinator) Begin(tx TxID, ops map[types.NodeID]types.Value) {
 	}
 	c.txns[tx] = ct
 	for _, id := range cohorts {
-		c.send(Message{Kind: MsgPrepare, To: id, Tx: tx, Op: ops[id].Clone()})
+		c.send(Message{Kind: MsgPrepare, To: id, Tx: tx, Op: ops[id]})
 	}
 }
 
@@ -425,7 +425,7 @@ func (h *Cohort) onPrepare(m Message) {
 	if _, ok := h.txns[m.Tx]; ok {
 		return // duplicate
 	}
-	t := &cohortTx{op: m.Op.Clone(), votedAt: h.now}
+	t := &cohortTx{op: m.Op, votedAt: h.now}
 	h.txns[m.Tx] = t
 	if h.vote == nil || h.vote(m.Tx, m.Op) {
 		t.state = stPrepared

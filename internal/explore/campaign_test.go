@@ -1,0 +1,233 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"fortyconsensus/internal/nemesis"
+)
+
+// encodeResult renders a CampaignResult into one canonical byte string:
+// every field, maps in sorted key order, failures with their encoded
+// reproducer specs. Byte equality of two encodings is the test's
+// definition of "bit-identical campaign results".
+func encodeResult(res *CampaignResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol %s runs %d\n", res.Protocol, res.Runs)
+	outcomes := make([]string, 0, len(res.Outcomes))
+	for o := range res.Outcomes {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, "outcome %s %d\n", o, res.Outcomes[o])
+	}
+	classes := make([]string, 0, len(res.Matrix))
+	for c := range res.Matrix {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		row := res.Matrix[c]
+		os := make([]string, 0, len(row))
+		for o := range row {
+			os = append(os, o)
+		}
+		sort.Strings(os)
+		for _, o := range os {
+			fmt.Fprintf(&b, "matrix %s %s %d\n", c, o, row[o])
+		}
+	}
+	e := res.Exposure
+	fmt.Fprintf(&b, "exposure %d %d %d %d %d %d %d %d %d\n",
+		e.Sent, e.Delivered, e.Dropped, e.Ticks,
+		e.Crashes, e.Restarts, e.Partitions, e.Heals, e.CutLinks)
+	for _, f := range res.Failures {
+		fmt.Fprintf(&b, "failure seed %d tick %d hash %s %v\n",
+			f.Result.Seed, f.Result.ViolationAt, f.Result.Hash, f.Result.Violation)
+		b.Write(f.Spec.Encode())
+		if f.Shrunk != nil {
+			b.Write(f.Shrunk.Encode())
+		}
+	}
+	return b.String()
+}
+
+// TestCampaignParallelBitIdentical is the engine's core guarantee:
+// workers=1 (sequential) and workers=8 produce byte-identical campaign
+// results — survival matrix, outcome counts, exposure, trace hashes,
+// failure list, shrunk reproducers, and the log stream.
+func TestCampaignParallelBitIdentical(t *testing.T) {
+	// splitBrainPaxos violates under fault-free schedules too, so the
+	// sweep exercises the failure/shrink path in both engines.
+	protos := []Protocol{mustLookup(t, "raft"), splitBrainPaxos()}
+	for _, p := range protos {
+		var logs [2][]string
+		var encs [2]string
+		for i, workers := range []int{1, 8} {
+			c := Campaign{
+				Proto: p, Seeds: 12, SeedBase: 50, Faults: 4,
+				Shrink: true, Workers: workers,
+				Log: func(format string, args ...any) {
+					logs[i] = append(logs[i], fmt.Sprintf(format, args...))
+				},
+			}
+			encs[i] = encodeResult(c.Run())
+		}
+		if encs[0] != encs[1] {
+			t.Errorf("%s: workers=1 vs workers=8 results differ:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				p.Name, encs[0], encs[1])
+		}
+		if strings.Join(logs[0], "\n") != strings.Join(logs[1], "\n") {
+			t.Errorf("%s: log streams differ:\n%v\nvs\n%v", p.Name, logs[0], logs[1])
+		}
+	}
+}
+
+// TestCampaignWorkersZeroMatchesSequential pins the Workers=0 (auto)
+// default to the same results as an explicit sequential sweep.
+func TestCampaignWorkersZeroMatchesSequential(t *testing.T) {
+	p := mustLookup(t, "multipaxos")
+	seq := Campaign{Proto: p, Seeds: 6, SeedBase: 7, Faults: 3, Workers: 1}.Run()
+	auto := Campaign{Proto: p, Seeds: 6, SeedBase: 7, Faults: 3}.Run()
+	if a, b := encodeResult(seq), encodeResult(auto); a != b {
+		t.Errorf("auto workers diverged from sequential:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// panicProto panics deterministically while building the episode for
+// any seed >= panicFrom, and counts how many episodes were started.
+func panicProto(panicFrom uint64, started *atomic.Int64) Protocol {
+	base, _ := Lookup("raft")
+	return Protocol{
+		Name: "panic-fixture", Nodes: 3, MinNodes: 3, Horizon: 50,
+		New: func(n int, seed uint64) *Episode {
+			started.Add(1)
+			if seed >= panicFrom {
+				panic(fmt.Sprintf("boom at seed %d", seed))
+			}
+			return base.New(n, seed)
+		},
+	}
+}
+
+// TestCampaignPanicPropagation: an episode panic surfaces from Run as
+// *EpisodePanic carrying the original value, and the surfaced episode
+// is the lowest panicking seed regardless of worker count.
+func TestCampaignPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var started atomic.Int64
+		c := Campaign{
+			Proto: panicProto(104, &started), Seeds: 40, SeedBase: 100,
+			Faults: 2, Workers: workers,
+		}
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: episode panic did not propagate", workers)
+				}
+				ep, ok := r.(*EpisodePanic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *EpisodePanic", workers, r)
+				}
+				if ep.Index != 4 {
+					t.Errorf("workers=%d: surfaced episode %d, want 4 (lowest panicking seed)", workers, ep.Index)
+				}
+				if want := "boom at seed 104"; ep.Value != want {
+					t.Errorf("workers=%d: panic value %v, want %q", workers, ep.Value, want)
+				}
+				if len(ep.Stack) == 0 {
+					t.Errorf("workers=%d: no stack recorded", workers)
+				}
+			}()
+			c.Run()
+		}()
+		if n := started.Load(); n >= 40 {
+			t.Errorf("workers=%d: panic did not cancel the pool: all %d episodes started", workers, n)
+		}
+	}
+}
+
+// TestCampaignCancel: a pre-closed Cancel yields an empty result, and a
+// cancel fired from the first log line (sequential engine) stops the
+// merge after exactly that episode.
+func TestCampaignCancel(t *testing.T) {
+	p := mustLookup(t, "raft")
+
+	pre := make(chan struct{})
+	close(pre)
+	res := Campaign{Proto: p, Seeds: 10, SeedBase: 1, Faults: 2, Workers: 2, Cancel: pre}.Run()
+	if res.Runs != 0 {
+		t.Errorf("pre-cancelled sweep merged %d runs, want 0", res.Runs)
+	}
+
+	mid := make(chan struct{})
+	cancelled := false
+	c := Campaign{
+		Proto: p, Seeds: 10, SeedBase: 1, Faults: 2, Workers: 1, Cancel: mid,
+		Log: func(string, ...any) {
+			if !cancelled {
+				cancelled = true
+				close(mid)
+			}
+		},
+	}
+	res = c.Run()
+	// The merge loop checks Cancel before waiting on each episode, so a
+	// cancel from episode 0's log line deterministically stops at 1 run.
+	if res.Runs != 1 {
+		t.Errorf("mid-sweep cancel merged %d runs, want 1", res.Runs)
+	}
+}
+
+// TestCampaignSeedOrderCanonical forces out-of-order episode completion
+// (later seeds cost far less work than earlier ones) and verifies the
+// failure list still comes back in ascending seed order.
+func TestCampaignSeedOrderCanonical(t *testing.T) {
+	p := splitBrainPaxos() // violates on (at least most) seeds
+	res := Campaign{Proto: p, Seeds: 8, SeedBase: 20, Faults: 3, Workers: 8}.Run()
+	if len(res.Failures) < 2 {
+		t.Skipf("fixture produced %d failures; need 2+ to check ordering", len(res.Failures))
+	}
+	for i := 1; i < len(res.Failures); i++ {
+		if res.Failures[i-1].Result.Seed >= res.Failures[i].Result.Seed {
+			t.Fatalf("failures out of canonical order: seed %d before %d",
+				res.Failures[i-1].Result.Seed, res.Failures[i].Result.Seed)
+		}
+	}
+}
+
+func mustLookup(t *testing.T, name string) Protocol {
+	t.Helper()
+	p, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("%s not registered", name)
+	}
+	return p
+}
+
+// TestCampaignShardParallel runs the full sharded-KV composition — the
+// heaviest registered episode — through both engines and compares the
+// complete merged result, shrink products included.
+func TestCampaignShardParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard campaign is slow")
+	}
+	p := mustLookup(t, "shard")
+	var encs []string
+	for _, workers := range []int{1, 8} {
+		c := Campaign{
+			Proto: p, Seeds: 4, SeedBase: 9, Faults: 4,
+			Classes: []nemesis.Op{nemesis.OpCrash, nemesis.OpPartition},
+			Shrink:  true, Workers: workers,
+		}
+		encs = append(encs, encodeResult(c.Run()))
+	}
+	if encs[0] != encs[1] {
+		t.Errorf("shard campaign diverged between workers=1 and workers=8:\n%s\nvs\n%s", encs[0], encs[1])
+	}
+}

@@ -1,0 +1,163 @@
+package explore
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// pool fans independent, deterministically numbered episodes across a
+// bounded set of workers. Episode i is a pure function of its index, so
+// parallel execution cannot change any episode's content — only the
+// completion order — and the merger re-imposes canonical order by
+// consuming indices 0..n-1 through waitFor.
+//
+// Failure semantics: the first panicking episode sets the stop flag, so
+// no new episodes start; episodes already running finish. Because
+// workers claim indices in increasing order, the lowest panicking index
+// is always claimed before any higher one, which makes the panic that
+// finish re-throws deterministic across worker counts.
+type pool struct {
+	n      int
+	run    func(i int)
+	cancel <-chan struct{}
+
+	next atomic.Int64
+	stop atomic.Bool
+	wg   sync.WaitGroup
+
+	// doneCh carries completed episode indices to the merger; buffered
+	// to n so workers never block on a slow merger.
+	doneCh chan int
+	// done is the merger-side completion bitmap (merger goroutine only).
+	done []bool
+
+	mu     sync.Mutex
+	panics []episodePanic
+}
+
+// episodePanic records one worker panic for deterministic re-throw.
+type episodePanic struct {
+	idx   int
+	val   any
+	stack []byte
+}
+
+// EpisodePanic is what Campaign.Run re-throws when an episode panics:
+// the original panic value plus the episode index and worker stack. With
+// several concurrent panics the lowest episode index wins, so the
+// surfaced value does not depend on the worker count.
+type EpisodePanic struct {
+	Index int    // episode index (seed = SeedBase + Index)
+	Value any    // the original panic value
+	Stack []byte // the panicking worker's stack
+}
+
+func (e *EpisodePanic) Error() string {
+	return fmt.Sprintf("explore: episode %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// startPool launches workers pulling episode indices 0..n-1.
+func startPool(workers, n int, cancel <-chan struct{}, run func(i int)) *pool {
+	p := &pool{
+		n:      n,
+		run:    run,
+		cancel: cancel,
+		doneCh: make(chan int, n),
+		done:   make([]bool, n),
+	}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	go func() {
+		p.wg.Wait()
+		close(p.doneCh)
+	}()
+	return p
+}
+
+func (p *pool) cancelled() bool {
+	if p.cancel == nil {
+		return false
+	}
+	select {
+	case <-p.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for {
+		if p.stop.Load() || p.cancelled() {
+			return
+		}
+		i := int(p.next.Add(1)) - 1
+		if i >= p.n {
+			return
+		}
+		if !p.runOne(i) {
+			return // panicked; stop flag is set
+		}
+		p.doneCh <- i
+	}
+}
+
+// runOne runs episode i, converting a panic into a recorded
+// episodePanic and a pool-wide stop.
+func (p *pool) runOne(i int) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.mu.Lock()
+			p.panics = append(p.panics, episodePanic{idx: i, val: r, stack: debug.Stack()})
+			p.mu.Unlock()
+			p.stop.Store(true)
+		}
+	}()
+	p.run(i)
+	return true
+}
+
+// waitFor blocks until episode i has completed, returning false when it
+// never will: the sweep was cancelled, or a worker panicked and the
+// remaining episodes were abandoned. The merger calls it with
+// i = 0, 1, 2, ... which is what re-serializes the merge.
+func (p *pool) waitFor(i int) bool {
+	for !p.done[i] {
+		if p.cancelled() {
+			p.stop.Store(true)
+			return false
+		}
+		idx, open := <-p.doneCh
+		if !open {
+			return false
+		}
+		p.done[idx] = true
+	}
+	return true
+}
+
+// finish drains the pool and re-throws the lowest-index recorded panic,
+// if any. It must be called exactly once, after the merge loop.
+func (p *pool) finish() {
+	p.stop.Store(true) // merger may have broken out early (cancel)
+	for range p.doneCh {
+		// drain until the closer observes all workers gone
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.panics) == 0 {
+		return
+	}
+	min := p.panics[0]
+	for _, ep := range p.panics[1:] {
+		if ep.idx < min.idx {
+			min = ep
+		}
+	}
+	panic(&EpisodePanic{Index: min.idx, Value: min.val, Stack: min.stack})
+}

@@ -58,6 +58,9 @@ func shardEpisode(n int, seed uint64, unsafe bool) *Episode {
 	key := func(sh, wave int) string { return fmt.Sprintf("k%d-%d", sh, wave) }
 	val := func(wave int) []byte { return []byte(fmt.Sprintf("v%d", wave)) }
 
+	// Fingerprint runs every tick; reuse one scratch slice across calls.
+	fps := make([]string, 0, shards+1)
+
 	return &Episode{
 		Target: svc,
 		Tick: func(now int) {
@@ -105,12 +108,14 @@ func shardEpisode(n int, seed uint64, unsafe bool) *Episode {
 			// commits, read its marker back from the shard that wrote
 			// it. The probe enters that shard's log after the TxCommit
 			// entry, so a correct shard must serve the value.
-			for _, tx := range det.SortedKeys(markers) {
-				if done, outcome := svc.TxDone(tx); done {
-					m := markers[tx]
-					delete(markers, tx)
-					if outcome == commit.Committed {
-						probes[svc.SubmitKVAt(m.shard, kvstore.Get(m.key))] = m
+			if len(markers) > 0 { // most ticks carry none: skip the sorted-keys allocation
+				for _, tx := range det.SortedKeys(markers) {
+					if done, outcome := svc.TxDone(tx); done {
+						m := markers[tx]
+						delete(markers, tx)
+						if outcome == commit.Committed {
+							probes[svc.SubmitKVAt(m.shard, kvstore.Get(m.key))] = m
+						}
 					}
 				}
 			}
@@ -143,7 +148,7 @@ func shardEpisode(n int, seed uint64, unsafe bool) *Episode {
 			return at.Violation()
 		},
 		Fingerprint: func() string {
-			fps := make([]string, 0, shards+1)
+			fps = fps[:0]
 			for _, tr := range trs {
 				fps = append(fps, tr.Fingerprint())
 			}

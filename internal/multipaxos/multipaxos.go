@@ -241,15 +241,16 @@ func (n *Node) TakeDecisions() []types.Decision {
 
 // Submit hands the node a value to replicate. Leaders propose it
 // immediately; followers forward to the leader they know, or queue it
-// until one emerges.
+// until one emerges. The caller yields ownership: per the types.Value
+// discipline the payload is immutable, so every hop shares it.
 func (n *Node) Submit(v types.Value) {
 	switch {
 	case n.role == leader:
 		n.propose(v)
 	case n.lead >= 0 && n.lead != n.id:
-		n.send(Message{Kind: MsgForward, To: n.lead, Val: v.Clone()})
+		n.send(Message{Kind: MsgForward, To: n.lead, Val: v})
 	default:
-		n.queued = append(n.queued, v.Clone())
+		n.queued = append(n.queued, v)
 	}
 }
 
@@ -257,12 +258,12 @@ func (n *Node) Submit(v types.Value) {
 func (n *Node) propose(v types.Value) {
 	slot := n.nextSlot
 	n.nextSlot++
-	st := &slotState{val: v.Clone(), votes: quorum.NewTally(n.q.Threshold())}
+	st := &slotState{val: v, votes: quorum.NewTally(n.q.Threshold())}
 	n.inflight[slot] = st
 	// Self-accept locally (the leader is also an acceptor).
-	n.accepted[slot] = acceptedEntry{num: n.curBallot, val: v.Clone()}
+	n.accepted[slot] = acceptedEntry{num: n.curBallot, val: v}
 	st.votes.Add(n.id)
-	n.broadcast(Message{Kind: MsgAccept, Ballot: n.curBallot, Slot: slot, Val: v.Clone()})
+	n.broadcast(Message{Kind: MsgAccept, Ballot: n.curBallot, Slot: slot, Val: v})
 }
 
 // campaign starts phase 1 for the whole log — the view change.
@@ -310,7 +311,7 @@ func (n *Node) Step(m Message) {
 		} else if n.lead >= 0 && n.lead != n.id {
 			n.send(Message{Kind: MsgForward, To: n.lead, Val: m.Val})
 		} else {
-			n.queued = append(n.queued, m.Val.Clone())
+			n.queued = append(n.queued, m.Val)
 		}
 	case MsgCatchup:
 		n.onCatchup(m)
@@ -327,7 +328,7 @@ func (n *Node) onPrepare(m Message) {
 		entries := make([]Entry, 0, len(n.accepted))
 		for _, s := range det.SortedKeys(n.accepted) {
 			e := n.accepted[s]
-			entries = append(entries, Entry{Slot: s, AcceptNum: e.num, Val: e.val.Clone()})
+			entries = append(entries, Entry{Slot: s, AcceptNum: e.num, Val: e.val})
 		}
 		n.send(Message{Kind: MsgAck, To: m.From, Ballot: m.Ballot, Entries: entries, Commit: n.commitSeq})
 		return
@@ -356,7 +357,7 @@ func (n *Node) onAck(m Message) {
 	}
 	for _, e := range m.Entries {
 		if cur, ok := n.recovered[e.Slot]; !ok || cur.num.Less(e.AcceptNum) {
-			n.recovered[e.Slot] = acceptedEntry{num: e.AcceptNum, val: e.Val.Clone()}
+			n.recovered[e.Slot] = acceptedEntry{num: e.AcceptNum, val: e.Val}
 		}
 	}
 	if !n.prepAcks.Add(m.From) {
@@ -394,11 +395,11 @@ func (n *Node) becomeLeader() {
 	}
 	for s := n.commitSeq + 1; s < n.nextSlot; s++ {
 		e := n.recovered[s]
-		st := &slotState{val: e.val.Clone(), votes: quorum.NewTally(n.q.Threshold())}
+		st := &slotState{val: e.val, votes: quorum.NewTally(n.q.Threshold())}
 		n.inflight[s] = st
-		n.accepted[s] = acceptedEntry{num: n.curBallot, val: e.val.Clone()}
+		n.accepted[s] = acceptedEntry{num: n.curBallot, val: e.val}
 		st.votes.Add(n.id)
-		n.broadcast(Message{Kind: MsgAccept, Ballot: n.curBallot, Slot: s, Val: e.val.Clone()})
+		n.broadcast(Message{Kind: MsgAccept, Ballot: n.curBallot, Slot: s, Val: e.val})
 	}
 	queued := n.queued
 	n.queued = nil
@@ -426,7 +427,7 @@ func (n *Node) onAccept(m Message) {
 			n.becomeFollowerOf(m.From)
 		}
 		n.resetElectionTimer()
-		n.accepted[m.Slot] = acceptedEntry{num: m.Ballot, val: m.Val.Clone()}
+		n.accepted[m.Slot] = acceptedEntry{num: m.Ballot, val: m.Val}
 		n.send(Message{Kind: MsgAccepted, To: m.From, Ballot: m.Ballot, Slot: m.Slot})
 		return
 	}
@@ -446,7 +447,7 @@ func (n *Node) onAccepted(m Message) {
 	}
 	delete(n.inflight, m.Slot)
 	n.learn(m.Slot, st.val)
-	n.broadcast(Message{Kind: MsgCommit, Slot: m.Slot, Val: st.val.Clone()})
+	n.broadcast(Message{Kind: MsgCommit, Slot: m.Slot, Val: st.val})
 }
 
 // learn records a chosen slot and advances the contiguous commit
@@ -458,7 +459,7 @@ func (n *Node) learn(slot types.Seq, val types.Value) {
 		}
 		return
 	}
-	n.chosen[slot] = val.Clone()
+	n.chosen[slot] = val
 	for {
 		v, ok := n.chosen[n.commitSeq+1]
 		if !ok {
@@ -490,10 +491,18 @@ func (n *Node) onCatchup(m Message) {
 	if n.role != leader {
 		return
 	}
-	var entries []Entry
+	// Exact-capacity batch: the frontier bounds how many slots remain.
+	max := 64
+	if span := int(n.commitSeq - m.Slot + 1); span < max {
+		max = span
+	}
+	if max <= 0 {
+		return
+	}
+	entries := make([]Entry, 0, max)
 	for s := m.Slot; s <= n.commitSeq && len(entries) < 64; s++ {
 		if v, ok := n.chosen[s]; ok {
-			entries = append(entries, Entry{Slot: s, Val: v.Clone()})
+			entries = append(entries, Entry{Slot: s, Val: v})
 		}
 	}
 	if len(entries) > 0 {

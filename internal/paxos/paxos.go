@@ -163,9 +163,10 @@ func New(id types.NodeID, cfg Config) *Node {
 }
 
 // Propose asks the node to get v decided. The node keeps retrying until
-// some value (not necessarily v) is decided.
+// some value (not necessarily v) is decided. The caller yields ownership
+// of v (types.Value discipline: immutable after creation).
 func (n *Node) Propose(v types.Value) {
-	n.myValue = v.Clone()
+	n.myValue = v
 	if n.phase == idle {
 		n.startBallot()
 	}
@@ -232,7 +233,7 @@ func (n *Node) onPrepare(m Message) {
 		n.ballotNum = m.Ballot
 		n.send(Message{
 			Kind: MsgAck, To: m.From, Ballot: m.Ballot,
-			AcceptNum: n.acceptNum, Val: n.acceptVal.Clone(),
+			AcceptNum: n.acceptNum, Val: n.acceptVal,
 		})
 		return
 	}
@@ -247,7 +248,7 @@ func (n *Node) onAck(m Message) {
 	}
 	if m.Val != nil && n.bestAccept.Less(m.AcceptNum) {
 		n.bestAccept = m.AcceptNum
-		n.bestVal = m.Val.Clone()
+		n.bestVal = m.Val
 	}
 	if !n.prepareAcks.Add(m.From) {
 		return
@@ -262,7 +263,7 @@ func (n *Node) onAck(m Message) {
 	n.acceptVotes = quorum.NewTally(n.q.Threshold())
 	n.armRetry()
 	for _, p := range n.cfg.Peers {
-		n.send(Message{Kind: MsgAccept, To: p, Ballot: n.curBallot, Val: val.Clone()})
+		n.send(Message{Kind: MsgAccept, To: p, Ballot: n.curBallot, Val: val})
 	}
 }
 
@@ -282,8 +283,8 @@ func (n *Node) onAccept(m Message) {
 	if n.ballotNum.LessEq(m.Ballot) {
 		n.ballotNum = m.Ballot
 		n.acceptNum = m.Ballot
-		n.acceptVal = m.Val.Clone()
-		n.send(Message{Kind: MsgAccepted, To: m.From, Ballot: m.Ballot, Val: m.Val.Clone()})
+		n.acceptVal = m.Val
+		n.send(Message{Kind: MsgAccepted, To: m.From, Ballot: m.Ballot, Val: m.Val})
 		return
 	}
 	n.send(Message{Kind: MsgNack, To: m.From, Ballot: n.ballotNum})
@@ -302,7 +303,7 @@ func (n *Node) onAccepted(m Message) {
 	n.learn(m.Val)
 	for _, p := range n.cfg.Peers {
 		if p != n.id {
-			n.send(Message{Kind: MsgDecide, To: p, Val: m.Val.Clone()})
+			n.send(Message{Kind: MsgDecide, To: p, Val: m.Val})
 		}
 	}
 }
@@ -315,7 +316,7 @@ func (n *Node) learn(v types.Value) {
 		return
 	}
 	n.decided = true
-	n.decision = v.Clone()
+	n.decision = v
 	if n.phase != idle {
 		n.phase = done
 	}

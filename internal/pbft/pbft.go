@@ -327,7 +327,7 @@ func (r *Replica) onRequest(m Message) {
 	}
 	first := false
 	if _, ok := r.pending[d]; !ok {
-		r.pending[d] = pendingReq{req: m.Req.Clone(), since: r.now}
+		r.pending[d] = pendingReq{req: m.Req, since: r.now}
 		first = true
 	}
 	if r.IsPrimary() && !r.viewChanging {
@@ -339,7 +339,7 @@ func (r *Replica) onRequest(m Message) {
 	// broadcast to all replicas when the primary stalls; flooding one
 	// hop reproduces that without modelling client retries).
 	if first {
-		r.broadcast(Message{Kind: MsgRequest, Req: m.Req.Clone()})
+		r.broadcast(Message{Kind: MsgRequest, Req: m.Req})
 	}
 }
 
@@ -356,10 +356,10 @@ func (r *Replica) assign(req types.Value, d chaincrypto.Digest) {
 	seq := r.seqCounter
 	s := r.getSlot(seq)
 	s.digest = d
-	s.req = req.Clone()
+	s.req = req
 	s.prePrepared = true
 	s.preparedView = r.view
-	r.broadcast(Message{Kind: MsgPrePrepare, View: r.view, Seq: seq, Digest: d, Req: req.Clone()})
+	r.broadcast(Message{Kind: MsgPrePrepare, View: r.view, Seq: seq, Digest: d, Req: req})
 	// The primary counts as pre-prepared+prepared for its own slot.
 	r.maybePrepared(seq, s)
 }
@@ -382,11 +382,11 @@ func (r *Replica) onPrePrepare(m Message) {
 		return
 	}
 	s.digest = m.Digest
-	s.req = m.Req.Clone()
+	s.req = m.Req
 	s.prePrepared = true
 	s.preparedView = m.View
 	if _, ok := r.pending[m.Digest]; !ok && !r.done[m.Digest] {
-		r.pending[m.Digest] = pendingReq{req: m.Req.Clone(), since: r.now}
+		r.pending[m.Digest] = pendingReq{req: m.Req, since: r.now}
 	}
 	s.prepares.Add(r.id) // own prepare counts toward the 2f
 	r.broadcast(Message{Kind: MsgPrepare, View: r.view, Seq: m.Seq, Digest: m.Digest})
@@ -455,7 +455,7 @@ func (r *Replica) executeReady() {
 		}
 		r.executed++
 		r.decisions = append(r.decisions, types.Decision{Slot: r.executed, Val: s.req})
-		r.archive[r.executed] = s.req.Clone()
+		r.archive[r.executed] = s.req
 		delete(r.pending, s.digest)
 		r.done[s.digest] = true
 		if r.executed%types.Seq(r.cfg.CheckpointEvery) == 0 {
@@ -494,7 +494,7 @@ func (r *Replica) onFetch(m Message) {
 		if !ok {
 			continue
 		}
-		slots = append(slots, PreparedProof{Seq: seq, Digest: chaincrypto.Hash(req), Req: req.Clone()})
+		slots = append(slots, PreparedProof{Seq: seq, Digest: chaincrypto.Hash(req), Req: req})
 	}
 	if len(slots) > 0 {
 		r.send(Message{Kind: MsgFetchResp, To: m.From, Slots: slots})
@@ -518,12 +518,12 @@ func (r *Replica) onFetchResp(m Message) {
 			r.fetchVotes[p.Seq] = vt
 		}
 		key := p.Digest.String()
-		r.fetchVals[key] = p.Req.Clone()
+		r.fetchVals[key] = p.Req
 		if vt.Add(m.From, key) {
 			s := r.getSlot(p.Seq)
 			if !s.committed {
 				s.digest = p.Digest
-				s.req = r.fetchVals[key].Clone()
+				s.req = r.fetchVals[key]
 				s.prePrepared = true
 				s.prepared = true
 				s.committed = true
@@ -572,7 +572,7 @@ func (r *Replica) startViewChange(target types.View) {
 	for _, seq := range det.SortedKeys(r.slots) {
 		if s := r.slots[seq]; s.prepared && seq > r.lastStable {
 			proofs = append(proofs, PreparedProof{
-				Seq: seq, View: s.preparedView, Digest: s.digest, Req: s.req.Clone(),
+				Seq: seq, View: s.preparedView, Digest: s.digest, Req: s.req,
 			})
 		}
 	}
@@ -662,7 +662,7 @@ func (r *Replica) onNewView(m Message) {
 	// Followers re-announce pending requests to the new primary, in
 	// digest order so every replica replays them identically.
 	for _, d := range det.SortedKeysFunc(r.pending, chaincrypto.Digest.Compare) {
-		r.send(Message{Kind: MsgRequest, To: r.primary(), Req: r.pending[d].req.Clone()})
+		r.send(Message{Kind: MsgRequest, To: r.primary(), Req: r.pending[d].req})
 	}
 }
 
@@ -704,7 +704,7 @@ func (r *Replica) applyNewView(v types.View, pps []PreparedProof) {
 			continue
 		}
 		s.digest = pp.Digest
-		s.req = pp.Req.Clone()
+		s.req = pp.Req
 		s.prePrepared = true
 		s.preparedView = v
 		if !r.IsPrimary() {

@@ -28,6 +28,64 @@ func BenchmarkReplicate(b *testing.B) {
 	}
 }
 
+// BenchmarkLeaderAppend measures the leader append → replicate → commit
+// round for one value on a 3-node cluster, with allocations reported:
+// one Submit plus the ticks it takes for the commit frontier to advance
+// and decisions to drain on every replica. allocs/op is the
+// protocol-hot-path allocation budget the Value ownership discipline
+// (types.Value doc) targets.
+func BenchmarkLeaderAppend(b *testing.B) {
+	c := NewCluster(3, nil, Config{Seed: 1}, nil)
+	lead := c.WaitLeader(1000)
+	if lead == nil {
+		b.Fatal("no leader")
+	}
+	c.Run(20)
+	val := types.Value("bench-value-0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := lead.CommitFrontier() + 1
+		lead.Submit(val)
+		if !c.RunUntil(func() bool { return lead.CommitFrontier() >= target }, 200) {
+			b.Fatal("commit stalled")
+		}
+		for _, n := range c.Nodes {
+			n.TakeDecisions()
+		}
+	}
+}
+
+// BenchmarkLeaderAppendBatch measures a 64-entry burst submitted in one
+// tick — the AppendEntries batching path (up to MaxBatch entries per
+// message) that the exact-size entry-slice discipline targets.
+func BenchmarkLeaderAppendBatch(b *testing.B) {
+	c := NewCluster(3, nil, Config{Seed: 1}, nil)
+	lead := c.WaitLeader(1000)
+	if lead == nil {
+		b.Fatal("no leader")
+	}
+	c.Run(20)
+	vals := make([]types.Value, 64)
+	for i := range vals {
+		vals[i] = types.Value(fmt.Sprintf("batch-value-%02d-0123456789", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := lead.CommitFrontier() + types.Seq(len(vals))
+		for _, v := range vals {
+			lead.Submit(v)
+		}
+		if !c.RunUntil(func() bool { return lead.CommitFrontier() >= target }, 2000) {
+			b.Fatal("commit stalled")
+		}
+		for _, n := range c.Nodes {
+			n.TakeDecisions()
+		}
+	}
+}
+
 // BenchmarkElectionTimeout is the failover ablation: shorter election
 // timeouts recover leadership faster but risk spurious elections under
 // jittery networks. Reported as ticks-to-new-leader after a crash.

@@ -12,7 +12,6 @@ package raft
 
 import (
 	"fmt"
-	"sort"
 
 	"fortyconsensus/internal/core"
 	"fortyconsensus/internal/quorum"
@@ -171,6 +170,8 @@ type Node struct {
 	hbIn       int
 	elections  int
 
+	matchScratch []types.Seq // maybeCommit scratch, reused across checks
+
 	out []Message
 }
 
@@ -228,20 +229,22 @@ func (n *Node) TakeDecisions() []types.Decision {
 	return d
 }
 
-// Submit hands a value to the cluster via this node.
+// Submit hands a value to the cluster via this node. The caller yields
+// ownership: per the types.Value discipline the payload is immutable
+// from here on, so it is forwarded and logged by reference.
 func (n *Node) Submit(v types.Value) {
 	switch {
 	case n.role == leader:
 		n.appendLocal(v)
 	case n.lead >= 0:
-		n.send(Message{Kind: MsgForward, To: n.lead, Val: v.Clone()})
+		n.send(Message{Kind: MsgForward, To: n.lead, Val: v})
 	default:
-		n.queued = append(n.queued, v.Clone())
+		n.queued = append(n.queued, v)
 	}
 }
 
 func (n *Node) appendLocal(v types.Value) {
-	n.log = append(n.log, LogEntry{Term: n.term, Val: v.Clone()})
+	n.log = append(n.log, LogEntry{Term: n.term, Val: v})
 	n.matchIndex[n.id] = n.lastIndex()
 	n.maybeCommit() // a single-node cluster commits immediately
 	n.replicateAll()
@@ -330,10 +333,17 @@ func (n *Node) replicateTo(p types.NodeID) {
 		next = 1
 	}
 	prev := next - 1
+	hi := n.lastIndex()
+	if max := prev + types.Seq(n.cfg.MaxBatch); hi > max {
+		hi = max
+	}
 	var batch []LogEntry
-	for i := next; i <= n.lastIndex() && len(batch) < n.cfg.MaxBatch; i++ {
-		e := n.log[i]
-		batch = append(batch, LogEntry{Term: e.Term, Val: e.Val.Clone()})
+	if hi >= next {
+		// Exact-size header copy: in-flight messages must not alias the
+		// log's backing array (a later truncate-and-append would rewrite
+		// them), but the Values inside are immutable and shared.
+		batch = make([]LogEntry, hi-next+1)
+		copy(batch, n.log[next:hi+1])
 	}
 	n.send(Message{
 		Kind: MsgAppend, To: p,
@@ -362,7 +372,7 @@ func (n *Node) Step(m Message) {
 		} else if n.lead >= 0 && n.lead != n.id {
 			n.send(Message{Kind: MsgForward, To: n.lead, Val: m.Val})
 		} else {
-			n.queued = append(n.queued, m.Val.Clone())
+			n.queued = append(n.queued, m.Val)
 		}
 	}
 }
@@ -416,7 +426,7 @@ func (n *Node) onAppend(m Message) {
 			}
 			n.log = n.log[:idx]
 		}
-		n.log = append(n.log, LogEntry{Term: e.Term, Val: e.Val.Clone()})
+		n.log = append(n.log, e) // header copied by value, Value shared
 	}
 	match := m.PrevIndex + types.Seq(len(m.Entries))
 	if m.LeaderCommit > n.commitIndex {
@@ -455,13 +465,23 @@ func (n *Node) onAppendResp(m Message) {
 }
 
 // maybeCommit advances the commit index to the highest current-term
-// index replicated on a majority.
+// index replicated on a majority. The match-index scratch lives on the
+// node and the sort is in place, so the commit check allocates nothing.
 func (n *Node) maybeCommit() {
-	matches := make([]types.Seq, 0, len(n.cfg.Peers))
+	if cap(n.matchScratch) < len(n.cfg.Peers) {
+		n.matchScratch = make([]types.Seq, 0, len(n.cfg.Peers))
+	}
+	matches := n.matchScratch[:0]
 	for _, p := range n.cfg.Peers {
 		matches = append(matches, n.matchIndex[p])
 	}
-	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
+	// Insertion sort, descending: clusters are small and sort.Slice's
+	// closure would allocate on every commit check.
+	for i := 1; i < len(matches); i++ {
+		for j := i; j > 0 && matches[j] > matches[j-1]; j-- {
+			matches[j], matches[j-1] = matches[j-1], matches[j]
+		}
+	}
 	candidate := matches[n.q.Threshold()-1]
 	if candidate > n.commitIndex && n.log[candidate].Term == n.term {
 		n.advanceCommit(candidate)

@@ -91,7 +91,7 @@ func (e *Executor) Commit(d types.Decision) []types.Reply {
 		}
 		return nil
 	}
-	e.pending[d.Slot] = d.Val.Clone()
+	e.pending[d.Slot] = d.Val
 	var replies []types.Reply
 	for {
 		val, ok := e.pending[e.next]

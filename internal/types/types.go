@@ -81,6 +81,16 @@ func (s Seq) String() string { return strconv.FormatUint(uint64(s), 10) }
 
 // Value is an opaque command payload carried through consensus. Protocols
 // never interpret values; the state machine layer does.
+//
+// Ownership discipline: a Value is immutable after creation. Whoever
+// builds one (a client, a state-machine encoder) hands over ownership
+// and must not write through the slice afterwards; everyone downstream
+// — protocol messages, log entries, decisions, replies — shares the
+// same backing array and must never mutate it. Readers that need a
+// mutable or independently-lived copy (e.g. decoding into caller-owned
+// buffers) call Clone at that boundary. This is what lets the protocol
+// hot paths forward values by reference instead of defensively cloning
+// on every message hop.
 type Value []byte
 
 // Equal reports byte-wise equality, treating nil and empty as equal.
