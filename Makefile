@@ -26,11 +26,13 @@ build:
 	$(GO) vet ./...
 
 # Static analysis: go vet plus the repo's own determinism-contract
-# analyzers (nodeterm, maporder, quorumlit). Zero unsuppressed findings
-# is a merge requirement; see DESIGN.md "Determinism contract".
+# multichecker — six analyzers (nodeterm, determtaint, valueown,
+# exhaustive, maporder, quorumlit) over every package in the module,
+# with per-analyzer wall-clock timing. Zero unsuppressed findings is a
+# merge requirement; see DESIGN.md "Determinism contract".
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/consensus-lint ./...
+	$(GO) run ./cmd/consensus-lint -time ./...
 
 test: build lint
 	$(GO) test ./...
@@ -68,11 +70,11 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ $(BENCH_PKGS)
 
 # Machine-readable benchmark record: same sweep as `make bench`,
-# rendered to BENCH_7.json (ns/op, B/op, allocs/op per benchmark) for
+# rendered to BENCH_8.json (ns/op, B/op, allocs/op per benchmark) for
 # mechanical before/after comparison across PRs.
 bench-json:
 	$(GO) test -bench=. -benchmem -run=^$$ $(BENCH_PKGS) > bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_7.json < bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_8.json < bench.out
 	@rm -f bench.out
 
 # Re-record the experiment golden artifacts after an intentional

@@ -21,10 +21,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"time"
 
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/explore"
 	"fortyconsensus/internal/nemesis"
 )
@@ -127,11 +127,7 @@ func printCampaign(res *explore.CampaignResult) {
 		res.Outcomes[explore.OutcomeOK],
 		res.Outcomes[explore.OutcomeStall],
 		res.Outcomes[explore.OutcomeViolation])
-	classes := make([]string, 0, len(res.Matrix))
-	for c := range res.Matrix {
-		classes = append(classes, c)
-	}
-	sort.Strings(classes)
+	classes := det.SortedKeys(res.Matrix)
 	fmt.Printf("  %-12s %6s %6s %10s\n", "fault class", "ok", "stall", "violation")
 	for _, c := range classes {
 		row := res.Matrix[c]

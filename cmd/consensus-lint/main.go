@@ -1,51 +1,71 @@
 // Command consensus-lint is the repo's determinism-contract
-// multichecker (DESIGN.md, "Determinism contract"). It runs three
-// analyzers over the protocol and core packages:
+// multichecker (DESIGN.md, "Determinism contract"). It loads the whole
+// module, builds a package-level call graph, and runs six analyzers:
 //
-//	nodeterm   no wall-clock, global randomness, env reads,
-//	           goroutines or channels in protocol code
-//	maporder   no order-sensitive effects inside range-over-map
-//	quorumlit  no hand-rolled quorum arithmetic outside internal/quorum
+//	nodeterm    no wall-clock, global randomness, env reads,
+//	            goroutines or channels in protocol code (direct uses,
+//	            calls or captured function values)
+//	determtaint no call chain from protocol code that reaches any of
+//	            the above through module-internal helpers, method
+//	            values, or conservatively-resolved interface dispatch
+//	valueown    types.Value ownership: no mutation after a value is
+//	            published into a message or log entry, no retention of
+//	            a borrowed batch slice past the handler return
+//	exhaustive  switches over message-kind/phase/state enums must
+//	            cover every declared constant
+//	maporder    no order-sensitive effects inside range-over-map
+//	quorumlit   no hand-rolled quorum arithmetic outside internal/quorum
 //
-// The harness layer (runner, simnet, experiments, workload, metrics,
-// transport, kvstore, wal, cmd, examples and the linter itself) is
-// exempt: it legitimately runs goroutines, real sockets and wall-clock
-// benchmarks. internal/quorum is additionally exempt from quorumlit —
-// it is where the arithmetic is supposed to live.
+// maporder and quorumlit run over every package in the module — the
+// harness and CLIs pin golden artifacts too. The four protocol-contract
+// analyzers skip the harness layer (runner, simnet, experiments,
+// workload, metrics, transport, kvstore, wal, nemesis, explore, cmd,
+// examples and the linter itself), which legitimately runs goroutines,
+// real sockets and wall-clock benchmarks. internal/quorum is exempt
+// from quorumlit — it is where the arithmetic is supposed to live.
 //
 // Findings are suppressed site-by-site with
 //
 //	//lint:allow <check> <reason>
 //
-// on the flagged line or the line above; the reason is mandatory.
+// on the flagged line or the line above; the reason is mandatory, and
+// a directive that no longer suppresses anything is itself a finding.
 //
 // Usage:
 //
-//	consensus-lint [-v] [packages]
+//	consensus-lint [-v] [-json] [-time] [packages]
 //
 // Packages are directories or ./... patterns relative to the working
-// directory; the default is ./... from the module root. Exits 1 if any
-// unsuppressed finding remains.
+// directory; the default is ./... from the module root. -json writes
+// the findings as a stable, position-sorted JSON array on stdout for
+// diffing and CI grepping; -time prints per-analyzer wall-clock totals
+// on stderr. Exits 1 if any unsuppressed finding remains.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/lint/analysis"
+	"fortyconsensus/internal/lint/determtaint"
+	"fortyconsensus/internal/lint/exhaustive"
 	"fortyconsensus/internal/lint/maporder"
 	"fortyconsensus/internal/lint/nodeterm"
 	"fortyconsensus/internal/lint/quorumlit"
+	"fortyconsensus/internal/lint/valueown"
 )
 
-// exemptPrefixes names the harness layer, module-relative. Packages
-// under these prefixes are skipped entirely.
-var exemptPrefixes = []string{
+// protocolExempt names the harness layer, module-relative. The four
+// protocol-contract analyzers skip packages under these prefixes.
+var protocolExempt = []string{
 	"cmd",
 	"examples",
 	"internal/lint",
@@ -65,27 +85,48 @@ var exemptPrefixes = []string{
 	"internal/shard/histcheck",
 }
 
-// quorumlitExempt additionally skips quorumlit where the arithmetic
-// belongs.
-var quorumlitExempt = []string{"internal/quorum"}
+// scopes pairs every analyzer with the package prefixes it skips.
+var scopes = []struct {
+	analyzer *analysis.Analyzer
+	exempt   []string
+}{
+	{nodeterm.Analyzer, protocolExempt},
+	{determtaint.Analyzer, protocolExempt},
+	{valueown.Analyzer, protocolExempt},
+	{exhaustive.Analyzer, protocolExempt},
+	{maporder.Analyzer, nil},
+	{quorumlit.Analyzer, []string{"internal/quorum"}},
+}
+
+// finding is one diagnostic in the stable machine-readable form the
+// -json mode emits.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	verbose := flag.Bool("v", false, "list the packages checked")
+	jsonOut := flag.Bool("json", false, "emit findings as a sorted JSON array on stdout")
+	timing := flag.Bool("time", false, "print per-analyzer wall-clock totals on stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: consensus-lint [-v] [packages]\n\n")
-		for _, a := range []*analysis.Analyzer{nodeterm.Analyzer, maporder.Analyzer, quorumlit.Analyzer} {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: consensus-lint [-v] [-json] [-time] [packages]\n\n")
+		for _, s := range scopes {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", s.analyzer.Name, s.analyzer.Doc)
 		}
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if err := run(flag.Args(), *verbose); err != nil {
+	if err := run(flag.Args(), *verbose, *jsonOut, *timing); err != nil {
 		fmt.Fprintln(os.Stderr, "consensus-lint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(patterns []string, verbose bool) error {
+func run(patterns []string, verbose, jsonOut, timing bool) error {
 	moduleDir, modulePath, err := findModule()
 	if err != nil {
 		return err
@@ -97,22 +138,23 @@ func run(patterns []string, verbose bool) error {
 	if err != nil {
 		return err
 	}
+
+	// Phase 1: load every target package (plus, via imports, every
+	// module-internal dependency) so the whole-program view is
+	// complete before any analyzer runs.
 	loader := analysis.NewLoader(modulePath, moduleDir)
-	findings := 0
-	checked := 0
+	loadStart := time.Now()
+	type target struct {
+		rel string
+		pkg *analysis.Package
+	}
+	var targets []target
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(moduleDir, dir)
 		if err != nil || strings.HasPrefix(rel, "..") {
 			return fmt.Errorf("%s is outside module %s", dir, modulePath)
 		}
 		rel = filepath.ToSlash(rel)
-		if exempt(rel, exemptPrefixes) {
-			continue
-		}
-		analyzers := []*analysis.Analyzer{nodeterm.Analyzer, maporder.Analyzer}
-		if !exempt(rel, quorumlitExempt) {
-			analyzers = append(analyzers, quorumlit.Analyzer)
-		}
 		importPath := modulePath
 		if rel != "." {
 			importPath = modulePath + "/" + rel
@@ -121,30 +163,94 @@ func run(patterns []string, verbose bool) error {
 		if err != nil {
 			return err
 		}
-		checked++
+		targets = append(targets, target{rel: rel, pkg: pkg})
+	}
+	loadElapsed := time.Since(loadStart)
+	graphStart := time.Now()
+	prog := analysis.NewProgram(loader)
+	graphElapsed := time.Since(graphStart)
+
+	// Phase 2: run each package's analyzer subset over the shared
+	// program.
+	perAnalyzer := make(map[string]time.Duration)
+	var findings []finding
+	for _, t := range targets {
+		var analyzers []*analysis.Analyzer
+		for _, s := range scopes {
+			if !exempt(t.rel, s.exempt) {
+				analyzers = append(analyzers, s.analyzer)
+			}
+		}
+		if len(analyzers) == 0 {
+			continue
+		}
 		if verbose {
 			names := make([]string, len(analyzers))
 			for i, a := range analyzers {
 				names[i] = a.Name
 			}
-			fmt.Fprintf(os.Stderr, "checking %s (%s)\n", importPath, strings.Join(names, ","))
+			fmt.Fprintf(os.Stderr, "checking %s (%s)\n", t.pkg.Path, strings.Join(names, ","))
 		}
-		diags, err := analysis.Run(pkg, analyzers...)
+		diags, err := analysis.RunProgramTimed(prog, t.pkg,
+			func(a *analysis.Analyzer, d time.Duration) { perAnalyzer[a.Name] += d },
+			analyzers...)
 		if err != nil {
 			return err
 		}
 		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
+			pos := t.pkg.Fset.Position(d.Pos)
 			file := pos.Filename
 			if r, err := filepath.Rel(moduleDir, file); err == nil && !strings.HasPrefix(r, "..") {
-				file = r
+				file = filepath.ToSlash(r)
 			}
-			fmt.Printf("%s:%d:%d: %s [%s]\n", file, pos.Line, pos.Column, d.Message, d.Category)
-			findings++
+			findings = append(findings, finding{
+				File: file, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Category, Message: d.Message,
+			})
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "consensus-lint: %d finding(s) in %d package(s)\n", findings, checked)
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	if timing {
+		fmt.Fprintf(os.Stderr, "load %8.2fs  (type-check module + stdlib from source)\n", loadElapsed.Seconds())
+		fmt.Fprintf(os.Stderr, "graph %7.2fs  (call graph over %d packages)\n", graphElapsed.Seconds(), len(prog.Packages()))
+		for _, n := range det.SortedKeys(perAnalyzer) {
+			fmt.Fprintf(os.Stderr, "%-12s %6.3fs\n", n, perAnalyzer[n].Seconds())
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "consensus-lint: %d finding(s) in %d package(s)\n", len(findings), len(targets))
 		os.Exit(1)
 	}
 	return nil

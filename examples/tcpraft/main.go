@@ -11,6 +11,7 @@ import (
 	"net"
 	"time"
 
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/kvstore"
 	"fortyconsensus/internal/raft"
 	"fortyconsensus/internal/smr"
@@ -35,8 +36,8 @@ func main() {
 		peers[i] = types.NodeID(i)
 	}
 	fmt.Println("cluster addresses:")
-	for id, a := range addrs {
-		fmt.Printf("  node %v: %s\n", id, a)
+	for _, id := range det.SortedKeys(addrs) {
+		fmt.Printf("  node %v: %s\n", id, addrs[id])
 	}
 
 	nodes := make([]*raft.Node, n)

@@ -343,6 +343,7 @@ func (r *Replica) Submit(req types.Value) {
 
 // Step consumes one delivered message.
 func (r *Replica) Step(m Message) {
+	//lint:allow exhaustive uncertified kinds only; every certified kind falls through to the verified switch below
 	switch m.Kind {
 	case MsgRequest:
 		r.onRequest(m)
@@ -357,6 +358,7 @@ func (r *Replica) Step(m Message) {
 			return
 		}
 	}
+	//lint:allow exhaustive MsgRequest and MsgPanic already returned from the uncertified switch above
 	switch m.Kind {
 	case MsgPrepare:
 		r.onPrepare(m)

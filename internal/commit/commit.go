@@ -87,6 +87,8 @@ const (
 
 func (o Outcome) String() string {
 	switch o {
+	case Pending:
+		return "pending"
 	case Committed:
 		return "committed"
 	case Aborted:
@@ -247,6 +249,7 @@ func (c *Coordinator) Step(m Message) {
 		}
 		return
 	}
+	//lint:allow exhaustive the coordinator consumes only cohort-to-coordinator kinds; Prepare/PreCommit/Global/Elect/Status travel the other way
 	switch m.Kind {
 	case MsgVoteCommit:
 		ct.votes[m.From] = true
@@ -312,6 +315,7 @@ func (c *Coordinator) Tick() {
 		if c.now < ct.deadline {
 			continue
 		}
+		//lint:allow exhaustive only prepared/pre-committed transactions carry deadlines; idle and finished ones have no timer to fire
 		switch ct.state {
 		case stPrepared:
 			c.decide(ct, Aborted) // a silent cohort vetoes
@@ -382,6 +386,8 @@ func (h *Cohort) Outcome(tx TxID) Outcome {
 		return Committed
 	case stAborted:
 		return Aborted
+	case stIdle, stPrepared, stPreCommitted:
+		return Pending
 	}
 	return Pending
 }
@@ -398,6 +404,7 @@ func (h *Cohort) send(m Message) {
 
 // Step consumes one delivered message.
 func (h *Cohort) Step(m Message) {
+	//lint:allow exhaustive cohorts consume only coordinator-to-cohort kinds (plus Status when elected); the vote/ack kinds travel the other way
 	switch m.Kind {
 	case MsgPrepare:
 		h.onPrepare(m)
@@ -442,6 +449,7 @@ func (h *Cohort) finish(tx TxID, o Outcome) {
 		t = &cohortTx{}
 		h.txns[tx] = t
 	}
+	//lint:allow exhaustive idle/prepared/pre-committed all accept the decision below; only finished states need the idempotence guards
 	switch t.state {
 	case stCommitted:
 		if o == Aborted {
@@ -489,6 +497,9 @@ func (h *Cohort) maybeTerminate(tx TxID, t *cohortTx) {
 			anyPre = true
 		case stAborted, stIdle:
 			anyAborted = true
+		case stPrepared:
+			// Merely prepared is no evidence either way; all-prepared
+			// falls to the abort rule below.
 		}
 	}
 	switch t.state {
@@ -498,6 +509,9 @@ func (h *Cohort) maybeTerminate(tx TxID, t *cohortTx) {
 		anyPre = true
 	case stAborted:
 		anyAborted = true
+	case stIdle, stPrepared:
+		// The recovery coordinator's own idle/prepared state adds no
+		// evidence beyond its collected statuses.
 	}
 	var decision Outcome
 	switch {

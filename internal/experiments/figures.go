@@ -189,7 +189,7 @@ func F5HotStuffPipeline() Result {
 	t := metrics.NewTable("F5 — HotStuff linearity vs PBFT: per-decision messages and leader-replacement cost",
 		"protocol", "n", "msgs/decision", "msgs/decision ÷ n", "leader-change msgs", "lc ÷ n")
 	for _, f := range []int{1, 2, 3} {
-		n := 3*f + 1
+		n := quorum.Byzantine{F: f}.Size()
 		{
 			c := hotstuff.NewCluster(f, nil, hotstuff.Config{ViewTimeout: 40}, nil)
 			c.Run(80) // bootstrap

@@ -236,7 +236,7 @@ func T2PBFTComplexity() Result {
 	t := metrics.NewTable("T2 — PBFT message complexity (claimed O(n²) normal case, O(n³) view change)",
 		"n", "f", "msgs/op", "msgs/op ÷ n²", "view-change msgs", "vc ÷ n²")
 	for _, f := range []int{1, 2, 3, 4} {
-		n := 3*f + 1
+		n := quorum.Byzantine{F: f}.Size()
 		// Normal case.
 		c := pbft.NewCluster(f, nil, pbft.Config{}, nil)
 		const ops = 5
@@ -272,17 +272,19 @@ func T3TrustedHW() Result {
 			ticks, msgs := measure(c.Cluster, 0,
 				func() { c.Submit(0, req(1)) },
 				func() bool { return c.ExecutedEverywhere(1) })
-			t.AddRowf("pbft", f, 3*f+1, 3*f+1, ticks, msgs)
+			n := quorum.Byzantine{F: f}.Size()
+			t.AddRowf("pbft", f, n, n, ticks, msgs)
 		}
 		{
 			c := minbft.NewCluster(f, nil, minbft.Config{}, nil)
 			ticks, msgs := measure(c.Cluster, 0,
 				func() { c.Submit(0, req(1)) },
 				func() bool { return c.ExecutedEverywhere(1) })
-			t.AddRowf("minbft", f, 2*f+1, 2*f+1, ticks, msgs)
+			n := quorum.Trusted{F: f}.Size()
+			t.AddRowf("minbft", f, n, n, ticks, msgs)
 		}
 		{
-			n := 2*f + 1
+			n := quorum.Trusted{F: f}.Size()
 			rc := runner.New(runner.Config[cheapbft.Message]{Dest: cheapbft.Dest, Src: cheapbft.Src, Kind: cheapbft.Kind})
 			reps := make([]*cheapbft.Replica, n)
 			for i := 0; i < n; i++ {

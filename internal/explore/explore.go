@@ -19,7 +19,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"sort"
 
 	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/nemesis"
@@ -184,10 +183,5 @@ func Lookup(name string) (Protocol, bool) {
 
 // Names lists registered protocols, sorted.
 func Names() []string {
-	out := make([]string, 0, len(registry))
-	for n := range registry {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	return det.SortedKeys(registry)
 }

@@ -13,9 +13,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/types"
 )
 
@@ -205,11 +205,7 @@ func (s *Store) Applied() uint64 { return s.applied }
 
 // Snapshot serializes the full store deterministically (sorted keys).
 func (s *Store) Snapshot() []byte {
-	keys := make([]string, 0, len(s.data))
-	for k := range s.data {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := det.SortedKeys(s.data)
 	var buf []byte
 	buf = binary.BigEndian.AppendUint64(buf, s.applied)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(keys)))

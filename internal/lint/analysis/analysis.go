@@ -26,6 +26,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer describes one static check.
@@ -49,6 +50,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+	// Prog is the whole-program view (call graph plus every loaded
+	// package) for interprocedural analyzers. Drivers that analyze a
+	// single package in isolation may leave it nil; analyzers must
+	// degrade to intra-package reasoning in that case.
+	Prog *Program
 }
 
 // Reportf reports a finding at pos.
@@ -68,8 +74,25 @@ type Diagnostic struct {
 // Run applies analyzers to pkg, filters the results through the
 // package's //lint:allow directives, and returns the surviving
 // diagnostics in file/line order. Malformed directives (no check name
-// or no reason) are reported as diagnostics of category "directive".
+// or no reason) are reported as diagnostics of category "directive",
+// and so is any directive that suppressed nothing even though its
+// check ran — a stale suppression is a correctness argument nobody is
+// using, and deleting it is the only way to keep the audit trail
+// honest.
 func Run(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	return RunProgram(nil, pkg, analyzers...)
+}
+
+// RunProgram is Run with a whole-program view attached to each Pass,
+// enabling the interprocedural analyzers. prog may be nil.
+func RunProgram(prog *Program, pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	return RunProgramTimed(prog, pkg, nil, analyzers...)
+}
+
+// RunProgramTimed additionally reports each analyzer's wall-clock run
+// time over this package to onTime (when non-nil), so drivers can
+// show where a lint pass spends its budget.
+func RunProgramTimed(prog *Program, pkg *Package, onTime func(a *Analyzer, elapsed time.Duration), analyzers ...*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -78,6 +101,7 @@ func Run(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			Prog:      prog,
 		}
 		pass.Report = func(d Diagnostic) {
 			if d.Category == "" {
@@ -85,18 +109,38 @@ func Run(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
 			}
 			diags = append(diags, d)
 		}
-		if _, err := a.Run(pass); err != nil {
+		start := time.Now()
+		_, err := a.Run(pass)
+		if onTime != nil {
+			onTime(a, time.Since(start))
+		}
+		if err != nil {
 			return nil, fmt.Errorf("%s: %s: %v", pkg.Path, a.Name, err)
 		}
 	}
 	allows, bad := directives(pkg)
 	kept := diags[:0]
 	for _, d := range diags {
-		if !suppressed(pkg.Fset, d, allows) {
+		if !suppress(pkg.Fset, d, allows) {
 			kept = append(kept, d)
 		}
 	}
 	kept = append(kept, bad...)
+	// An allow whose check ran over this package but matched no
+	// diagnostic is dead weight: either the code it excused was fixed,
+	// or a stricter analyzer no longer flags the site. Checks that did
+	// not run get the benefit of the doubt.
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, a := range allows {
+		if a.used || !ran[a.check] {
+			continue
+		}
+		kept = append(kept, Diagnostic{Pos: a.pos, Category: "directive",
+			Message: fmt.Sprintf("lint:allow %s suppresses nothing here; delete the stale directive", a.check)})
+	}
 	sort.Slice(kept, func(i, j int) bool {
 		pi, pj := pkg.Fset.Position(kept[i].Pos), pkg.Fset.Position(kept[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -115,6 +159,8 @@ type allowDirective struct {
 	file  string
 	line  int
 	check string
+	pos   token.Pos
+	used  bool
 }
 
 const directivePrefix = "//lint:allow"
@@ -122,8 +168,8 @@ const directivePrefix = "//lint:allow"
 // directives scans every comment in pkg for suppression directives.
 // Directives missing a check name or a reason are returned as
 // diagnostics instead of suppressions.
-func directives(pkg *Package) ([]allowDirective, []Diagnostic) {
-	var allows []allowDirective
+func directives(pkg *Package) ([]*allowDirective, []Diagnostic) {
+	var allows []*allowDirective
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -144,19 +190,20 @@ func directives(pkg *Package) ([]allowDirective, []Diagnostic) {
 						Message: fmt.Sprintf("lint:allow %s carries no reason; every suppression must state its correctness argument", fields[0])})
 					continue
 				}
-				allows = append(allows, allowDirective{file: pos.Filename, line: pos.Line, check: fields[0]})
+				allows = append(allows, &allowDirective{file: pos.Filename, line: pos.Line, check: fields[0], pos: c.Pos()})
 			}
 		}
 	}
 	return allows, bad
 }
 
-// suppressed reports whether d is covered by a directive on its line or
-// the line directly above.
-func suppressed(fset *token.FileSet, d Diagnostic, allows []allowDirective) bool {
+// suppress reports whether d is covered by a directive on its line or
+// the line directly above, marking the directive used.
+func suppress(fset *token.FileSet, d Diagnostic, allows []*allowDirective) bool {
 	pos := fset.Position(d.Pos)
 	for _, a := range allows {
 		if a.file == pos.Filename && a.check == d.Category && (a.line == pos.Line || a.line == pos.Line-1) {
+			a.used = true
 			return true
 		}
 	}

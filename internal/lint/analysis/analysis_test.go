@@ -70,3 +70,38 @@ func TestDirectiveValidationAndSuppression(t *testing.T) {
 		}
 	}
 }
+
+func TestUnusedDirectiveReported(t *testing.T) {
+	loader := analysis.NewLoader("", "")
+	pkg, err := loader.LoadDir("testdata/src/stale", "stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, retAnalyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		var got []string
+		for _, d := range diags {
+			got = append(got, d.Message)
+		}
+		t.Fatalf("got %d diagnostics %q, want exactly the stale-directive finding", len(diags), got)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "suppresses nothing") || d.Category != "directive" {
+		t.Errorf("diagnostic = %q [%s], want a directive finding about suppressing nothing", d.Message, d.Category)
+	}
+	if line := pkg.Fset.Position(d.Pos).Line; line != 5 {
+		t.Errorf("stale directive reported at line %d, want 5", line)
+	}
+	// A check that did not run gets the benefit of the doubt: running
+	// no analyzers must report nothing, used or not.
+	diags, err = analysis.Run(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("with no analyzers run, got %d diagnostics, want 0", len(diags))
+	}
+}

@@ -1,0 +1,136 @@
+package analysis_test
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+
+	"fortyconsensus/internal/lint/analysis"
+)
+
+// loadProgram loads the named fixture packages under testdata/src as
+// module "fix" and builds the whole-program view.
+func loadProgram(t *testing.T, pkgs ...string) (*analysis.Program, map[string]*analysis.Package) {
+	t.Helper()
+	loader := analysis.NewLoader("fix", "testdata/src")
+	byName := make(map[string]*analysis.Package)
+	for _, name := range pkgs {
+		pkg, err := loader.LoadDir("testdata/src/"+name, "fix/"+name)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", name, err)
+		}
+		byName[name] = pkg
+	}
+	return analysis.NewProgram(loader), byName
+}
+
+// lookupFunc finds a declared function or method by qualified name
+// ("Run", "Machine.Step") in pkg.
+func lookupFunc(t *testing.T, prog *analysis.Program, pkg *analysis.Package, name string) *analysis.FuncNode {
+	t.Helper()
+	recv, method, isMethod := strings.Cut(name, ".")
+	scope := pkg.Types.Scope()
+	var fn *types.Func
+	if !isMethod {
+		fn, _ = scope.Lookup(name).(*types.Func)
+	} else {
+		tn, _ := scope.Lookup(recv).(*types.TypeName)
+		if tn == nil {
+			t.Fatalf("no type %s in %s", recv, pkg.Path)
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(tn.Type()), true, pkg.Types, method)
+		fn, _ = obj.(*types.Func)
+	}
+	if fn == nil {
+		t.Fatalf("no function %s in %s", name, pkg.Path)
+	}
+	node := prog.Func(fn)
+	if node == nil {
+		t.Fatalf("no call-graph node for %s", name)
+	}
+	return node
+}
+
+func TestCallGraphStaticCrossPackage(t *testing.T) {
+	prog, pkgs := loadProgram(t, "cgmain", "cghelp")
+	run := lookupFunc(t, prog, pkgs["cgmain"], "Run")
+
+	var toStamp *analysis.Call
+	for i, c := range run.Calls {
+		if c.Callee.Name() == "Stamp" {
+			toStamp = &run.Calls[i]
+		}
+	}
+	if toStamp == nil {
+		t.Fatalf("Run has no edge to cghelp.Stamp; edges: %v", edgeNames(run))
+	}
+	if toStamp.Kind != analysis.CallStatic {
+		t.Errorf("edge Run->Stamp has kind %d, want CallStatic", toStamp.Kind)
+	}
+	// The chain continues inside the helper package: Stamp -> clock ->
+	// (stdlib leaf time.Now, not a node).
+	stamp := lookupFunc(t, prog, pkgs["cghelp"], "Stamp")
+	if len(stamp.Calls) == 0 || stamp.Calls[0].Callee.Name() != "clock" {
+		t.Fatalf("Stamp edges = %v, want [clock ...]", edgeNames(stamp))
+	}
+	clock := prog.Func(stamp.Calls[0].Callee)
+	if clock == nil {
+		t.Fatal("no node for cghelp.clock")
+	}
+	foundNow := false
+	for _, c := range clock.Calls {
+		if c.Callee.Name() == "Now" && c.Callee.Pkg() != nil && c.Callee.Pkg().Path() == "time" {
+			foundNow = true
+		}
+	}
+	if !foundNow {
+		t.Errorf("clock edges = %v, want a call edge to time.Now", edgeNames(clock))
+	}
+}
+
+func TestCallGraphMethodValueReference(t *testing.T) {
+	prog, pkgs := loadProgram(t, "cgmain", "cghelp")
+	run := lookupFunc(t, prog, pkgs["cgmain"], "Run")
+	for _, c := range run.Calls {
+		if c.Callee.Name() == "helper" {
+			if c.Kind != analysis.CallRef {
+				t.Errorf("edge Run->node.helper has kind %d, want CallRef", c.Kind)
+			}
+			return
+		}
+	}
+	t.Errorf("Run has no edge to the method value node.helper; edges: %v", edgeNames(run))
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	prog, pkgs := loadProgram(t, "cgmain", "cghelp")
+	run := lookupFunc(t, prog, pkgs["cgmain"], "Run")
+	var dyn *analysis.Call
+	for i, c := range run.Calls {
+		if c.Kind == analysis.CallDynamic {
+			dyn = &run.Calls[i]
+		}
+	}
+	if dyn == nil {
+		t.Fatalf("Run has no dynamic edge; edges: %v", edgeNames(run))
+	}
+	impls := prog.Impls(dyn.Callee)
+	if len(impls) != 1 || impls[0].Name() != "Step" {
+		names := make([]string, len(impls))
+		for i, f := range impls {
+			names[i] = f.FullName()
+		}
+		t.Fatalf("interface method %s resolves to %v, want exactly Machine.Step", dyn.Callee.FullName(), names)
+	}
+	if prog.Func(impls[0]) == nil {
+		t.Error("resolved concrete method has no call-graph node")
+	}
+}
+
+func edgeNames(n *analysis.FuncNode) []string {
+	var out []string
+	for _, c := range n.Calls {
+		out = append(out, c.Callee.Name())
+	}
+	return out
+}

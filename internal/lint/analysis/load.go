@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -50,6 +51,11 @@ type Loader struct {
 
 // NewLoader returns a loader for the module rooted at moduleDir.
 func NewLoader(modulePath, moduleDir string) *Loader {
+	// The source importer type-checks the standard library from source
+	// through build.Default. With cgo enabled it would try to run the
+	// cgo tool on packages like net; the pure-Go variants type-check
+	// identically and keep the loader offline and toolchain-free.
+	build.Default.CgoEnabled = false
 	fset := token.NewFileSet()
 	return &Loader{
 		Fset:       fset,

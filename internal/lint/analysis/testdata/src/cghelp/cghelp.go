@@ -1,0 +1,13 @@
+// Package cghelp is the helper side of the call-graph fixtures: Stamp
+// launders a wall-clock read behind one extra hop.
+package cghelp
+
+import "time"
+
+// Stamp reaches time.Now through clock.
+func Stamp() int64 { return clock() }
+
+func clock() int64 { return time.Now().UnixNano() }
+
+// Pure is a clean helper.
+func Pure(x int) int { return x + 1 }

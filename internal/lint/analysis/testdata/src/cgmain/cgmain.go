@@ -1,0 +1,27 @@
+// Package cgmain exercises the call-graph builder: static calls,
+// method-value references, and interface dispatch.
+package cgmain
+
+import "fix/cghelp"
+
+// Stepper is dispatched through dynamically.
+type Stepper interface{ Step(int) int }
+
+// Machine implements Stepper.
+type Machine struct{ n int }
+
+// Step is the concrete method an interface dispatch may reach.
+func (m *Machine) Step(d int) int { m.n += d; return m.n }
+
+// node carries the method used as a method value.
+type node struct{ id int }
+
+func (n node) helper() int { return cghelp.Pure(n.id) }
+
+// Run holds one of every call shape.
+func Run(s Stepper) int {
+	x := cghelp.Stamp() // static cross-package call
+	f := node{id: 1}.helper
+	_ = f             // method value reference, never called here
+	return s.Step(int(x)) // interface dispatch
+}

@@ -1,0 +1,11 @@
+// Package stale exercises unused-directive detection: a well-formed
+// allow whose check runs but suppresses nothing is itself a finding.
+package stale
+
+//lint:allow retstmt nothing on this line or below returns, so this directive is dead
+var A = 1
+
+func F() int {
+	//lint:allow retstmt the test analyzer flags every return; this one is deliberately waived
+	return A
+}

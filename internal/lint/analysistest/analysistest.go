@@ -15,6 +15,7 @@
 package analysistest
 
 import (
+	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -26,16 +27,39 @@ import (
 
 // Run loads each fixture package from dir/src and applies a, reporting
 // any mismatch between diagnostics and // want expectations on t.
+//
+// Every package directory under dir/src is loaded (as module "fix", so
+// fixtures may import each other as "fix/<name>") and a whole-program
+// view is built over them, but only the packages named in pkgs are
+// analyzed and want-checked: helper packages exist to be reached
+// through the call graph, exactly like the module's internal helpers.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
-	loader := analysis.NewLoader("", "")
-	for _, name := range pkgs {
-		pkg, err := loader.LoadDir(filepath.Join(dir, "src", name), name)
-		if err != nil {
-			t.Errorf("loading fixture %s: %v", name, err)
+	src := filepath.Join(dir, "src")
+	loader := analysis.NewLoader("fix", src)
+	loaded := make(map[string]*analysis.Package)
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("reading fixture root %s: %v", src, err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
 			continue
 		}
-		diags, err := analysis.Run(pkg, a)
+		pkg, err := loader.LoadDir(filepath.Join(src, e.Name()), "fix/"+e.Name())
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", e.Name(), err)
+		}
+		loaded[e.Name()] = pkg
+	}
+	prog := analysis.NewProgram(loader)
+	for _, name := range pkgs {
+		pkg := loaded[name]
+		if pkg == nil {
+			t.Errorf("fixture package %s not found under %s", name, src)
+			continue
+		}
+		diags, err := analysis.RunProgram(prog, pkg, a)
 		if err != nil {
 			t.Errorf("running %s on %s: %v", a.Name, name, err)
 			continue

@@ -1,0 +1,253 @@
+// Package determtaint implements the transitive half of the
+// determinism contract. nodeterm flags nondeterministic operations at
+// the site where they occur, but only inside the package under
+// analysis: a helper in another internal package can read time.Now,
+// and a protocol handler calling that helper launders the wall clock
+// into replicated state without a single flaggable line in the
+// protocol package. determtaint closes that hole by propagating a
+// taint fact over the whole-module call graph: a function is tainted
+// if it performs a forbidden operation directly — wall-clock reads,
+// global randomness, entropy, environment reads, goroutine spawns, any
+// channel operation — or if it can reach one through any chain of
+// module-internal calls, including method values and conservatively
+// resolved interface dispatch.
+//
+// The analyzer reports, for each function of the package under
+// analysis, every call edge that leaves the package and lands on a
+// tainted function, with the full laundering chain in the message.
+// Direct sources inside the package are nodeterm's to report, so the
+// two analyzers never double-flag one line; together they cover every
+// path from protocol code to a nondeterministic input.
+//
+// Suppression follows the house rule: //lint:allow determtaint
+// <reason> on the flagged call or the line above.
+package determtaint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fortyconsensus/internal/lint/analysis"
+	"fortyconsensus/internal/lint/nodeterm"
+)
+
+// Analyzer is the determtaint check.
+var Analyzer = &analysis.Analyzer{
+	Name: "determtaint",
+	Doc:  "flag calls whose transitive closure reaches wall-clock, randomness, env reads, goroutines or channels through helper chains",
+	Run:  run,
+}
+
+// taintState is the DFS color of one function.
+type taintState uint8
+
+const (
+	unknown taintState = iota
+	visiting
+	clean
+	tainted
+)
+
+// witness records why a function is tainted: either a direct source
+// (desc, next == nil) or the first tainted callee on the path.
+type witness struct {
+	desc string
+	next *types.Func
+}
+
+// tracker memoizes taint facts over one program.
+type tracker struct {
+	prog    *analysis.Program
+	state   map[*types.Func]taintState
+	witness map[*types.Func]witness
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Prog == nil {
+		// Without a whole-program view there is no call graph to
+		// propagate over; nodeterm still covers direct sources.
+		return nil, nil
+	}
+	tr := &tracker{
+		prog:    pass.Prog,
+		state:   make(map[*types.Func]taintState),
+		witness: make(map[*types.Func]witness),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := pass.Prog.Func(obj)
+			if node == nil {
+				continue
+			}
+			tr.checkEntry(pass, node)
+		}
+	}
+	return nil, nil
+}
+
+// checkEntry reports every call edge of node that leaves the package
+// under analysis and reaches a tainted function.
+func (tr *tracker) checkEntry(pass *analysis.Pass, node *analysis.FuncNode) {
+	for _, c := range node.Calls {
+		switch c.Kind {
+		case analysis.CallStatic, analysis.CallRef:
+			callee := tr.prog.Func(c.Callee)
+			if callee == nil || callee.Fn.Pkg() == pass.Pkg {
+				continue // stdlib leaf or same-package (nodeterm's turf)
+			}
+			if tr.taint(c.Callee) == tainted {
+				pass.Reportf(c.Pos, "call to %s reaches %s via %s; take ticks, seeds and config from the harness instead",
+					funcLabel(c.Callee), tr.sourceOf(c.Callee), tr.chainOf(c.Callee))
+			}
+		case analysis.CallDynamic:
+			for _, impl := range tr.prog.Impls(c.Callee) {
+				if impl.Pkg() == pass.Pkg {
+					continue
+				}
+				if tr.taint(impl) == tainted {
+					pass.Reportf(c.Pos, "dynamic call through %s may reach %s via %s; take ticks, seeds and config from the harness instead",
+						funcLabel(c.Callee), tr.sourceOf(impl), tr.chainOf(impl))
+					break // one report per call site
+				}
+			}
+		}
+	}
+}
+
+// taint computes (and memoizes) whether fn can reach a forbidden
+// operation. Cycles are treated as clean while in progress: recursion
+// alone introduces no nondeterminism.
+func (tr *tracker) taint(fn *types.Func) taintState {
+	if s := tr.state[fn]; s != unknown {
+		if s == visiting {
+			return clean
+		}
+		return s
+	}
+	node := tr.prog.Func(fn)
+	if node == nil {
+		return clean // no source: out-of-module leaf, judged at the edge
+	}
+	tr.state[fn] = visiting
+	if desc := directSource(node); desc != "" {
+		tr.state[fn] = tainted
+		tr.witness[fn] = witness{desc: desc}
+		return tainted
+	}
+	for _, c := range node.Calls {
+		switch c.Kind {
+		case analysis.CallStatic, analysis.CallRef:
+			if tr.taint(c.Callee) == tainted {
+				tr.state[fn] = tainted
+				tr.witness[fn] = witness{next: c.Callee}
+				return tainted
+			}
+		case analysis.CallDynamic:
+			for _, impl := range tr.prog.Impls(c.Callee) {
+				if tr.taint(impl) == tainted {
+					tr.state[fn] = tainted
+					tr.witness[fn] = witness{next: impl}
+					return tainted
+				}
+			}
+		}
+	}
+	tr.state[fn] = clean
+	return clean
+}
+
+// sourceOf returns the forbidden-operation description at the end of
+// fn's witness chain.
+func (tr *tracker) sourceOf(fn *types.Func) string {
+	for {
+		w := tr.witness[fn]
+		if w.next == nil {
+			return w.desc
+		}
+		fn = w.next
+	}
+}
+
+// chainOf renders fn's witness chain ("det.Stamp → det.clock").
+func (tr *tracker) chainOf(fn *types.Func) string {
+	var hops []string
+	for {
+		hops = append(hops, funcLabel(fn))
+		w := tr.witness[fn]
+		if w.next == nil {
+			return strings.Join(hops, " → ")
+		}
+		fn = w.next
+	}
+}
+
+// directSource scans one function body for a forbidden operation and
+// returns its description, or "".
+func directSource(node *analysis.FuncNode) string {
+	info := node.Pkg.TypesInfo
+	desc := ""
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if fn, ok := info.Uses[n.Sel].(*types.Func); ok {
+				if d := nodeterm.Forbidden(fn); d != "" {
+					desc = d
+				}
+			}
+		case *ast.GoStmt:
+			desc = "a goroutine spawn"
+		case *ast.SendStmt:
+			desc = "a channel send"
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				desc = "a channel receive"
+			}
+		case *ast.SelectStmt:
+			desc = "a select statement"
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					desc = "a channel close"
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					desc = "a range over a channel"
+				}
+			}
+		}
+		return desc == ""
+	})
+	return desc
+}
+
+// funcLabel renders fn compactly: pkg.Func or pkg.Type.Method.
+func funcLabel(fn *types.Func) string {
+	name := fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}

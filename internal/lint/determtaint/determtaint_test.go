@@ -1,0 +1,12 @@
+package determtaint_test
+
+import (
+	"testing"
+
+	"fortyconsensus/internal/lint/analysistest"
+	"fortyconsensus/internal/lint/determtaint"
+)
+
+func TestDetermtaint(t *testing.T) {
+	analysistest.Run(t, "testdata", determtaint.Analyzer, "dtproto")
+}

@@ -1,0 +1,28 @@
+// Package dthelp is the middle hop: nothing in here touches a
+// forbidden operation directly except through dthelp2 or its own
+// concurrency, so a per-function analyzer sees it as clean code.
+package dthelp
+
+import "fix/dthelp2"
+
+// Stamp reaches time.Now only through dthelp2.Clock — the laundering
+// wrapper shape.
+func Stamp() int64 { return dthelp2.Clock() }
+
+// Sum is a clean helper a protocol may call freely.
+func Sum(a, b int) int { return dthelp2.Add(a, b) }
+
+// Spawn hides a goroutine.
+func Spawn(f func()) { go f() }
+
+// Ticker's method launders the chain behind a method value.
+type Ticker struct{}
+
+// Tick reaches the wall clock through Stamp.
+func (Ticker) Tick() int64 { return Stamp() }
+
+// Counter is a clean implementation of the same shape.
+type Counter struct{ n int64 }
+
+// Tick just counts.
+func (c *Counter) Tick() int64 { c.n++; return c.n }

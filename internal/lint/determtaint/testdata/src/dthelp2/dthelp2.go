@@ -1,0 +1,10 @@
+// Package dthelp2 is the far end of the two-hop laundering chain.
+package dthelp2
+
+import "time"
+
+// Clock reads the wall clock directly.
+func Clock() int64 { return time.Now().UnixNano() }
+
+// Add is clean.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,54 @@
+// Package dtproto plays the protocol package: every nondeterministic
+// reach below goes through at least one cross-package hop, so nodeterm
+// alone would pass this file.
+package dtproto
+
+import (
+	"time"
+
+	"fix/dthelp"
+)
+
+// Clocker is dispatched through dynamically; dthelp.Ticker (tainted)
+// and dthelp.Counter (clean) both implement it.
+type Clocker interface{ Tick() int64 }
+
+// TwoHop reaches time.Now through dthelp.Stamp → dthelp2.Clock.
+func TwoHop() int64 {
+	return dthelp.Stamp() // want "call to dthelp.Stamp reaches time.Now \\(wall clock\\) via dthelp.Stamp → dthelp2.Clock"
+}
+
+// CleanCalls exercises edges that must stay silent.
+func CleanCalls() int {
+	return dthelp.Sum(1, 2)
+}
+
+// Goroutine reaches a goroutine spawn through a helper.
+func Goroutine() {
+	dthelp.Spawn(func() {}) // want "call to dthelp.Spawn reaches a goroutine spawn"
+}
+
+// MethodValue launders the chain behind a method value that is never
+// even called here.
+func MethodValue() func() int64 {
+	f := dthelp.Ticker{}.Tick // want "call to dthelp.Ticker.Tick reaches time.Now"
+	return f
+}
+
+// Dynamic dispatch is resolved conservatively: any implementation may
+// flow in, and dthelp.Ticker is tainted.
+func Dynamic(c Clocker) int64 {
+	return c.Tick() // want "dynamic call through dtproto.Clocker.Tick may reach time.Now"
+}
+
+// DirectSource is nodeterm's to flag, not determtaint's: no diagnostic
+// expected here when only determtaint runs.
+func DirectSource() int64 {
+	return time.Now().UnixNano()
+}
+
+// Suppressed shows the house directive applies.
+func Suppressed() int64 {
+	//lint:allow determtaint fixture proves a reasoned suppression is honored
+	return dthelp.Stamp()
+}

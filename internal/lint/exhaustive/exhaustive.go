@@ -1,0 +1,125 @@
+// Package exhaustive enforces that protocol code switching over a
+// message-kind, phase, or state enum handles every declared constant
+// of that enum. Howard & Mortier's Paxos/Raft comparison locates most
+// real divergence bugs in under-specified handler behavior, and the
+// cheapest way to under-specify a handler in Go is a switch that
+// silently falls through for a message kind added after the switch was
+// written: the message is dropped, no invariant trips locally, and the
+// divergence surfaces replicas later as a liveness stall or a golden
+// mismatch.
+//
+// A switch is in scope when its tag's type is a named module-internal
+// type with at least two declared package-level constants (the enum
+// shape every MsgKind/phase/state in this repo uses). Coverage is by
+// constant value; a default clause does not count as coverage —
+// `default:` is exactly where a new kind disappears silently, so a
+// deliberately partial switch must say why with //lint:allow
+// exhaustive <reason> (or handle the remaining kinds explicitly, even
+// if only to panic).
+package exhaustive
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"fortyconsensus/internal/lint/analysis"
+)
+
+// Analyzer is the exhaustive check.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc:  "require switches over message-kind/phase/state enums to cover every declared constant",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	t := pass.TypesInfo.TypeOf(sw.Tag)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !moduleInternal(pass, obj.Pkg()) {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return
+	}
+	consts := enumConstants(obj.Pkg(), named)
+	if len(consts) < 2 {
+		return // not an enum, just a named scalar
+	}
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	label := obj.Name()
+	if obj.Pkg() != pass.Pkg {
+		label = obj.Pkg().Name() + "." + label
+	}
+	pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s; handle every kind explicitly (a default drops new kinds silently) or annotate //lint:allow exhaustive <reason>",
+		label, strings.Join(missing, ", "))
+}
+
+// moduleInternal reports whether pkg is part of the analyzed module:
+// loaded in the whole-program view when one exists, else the package
+// under analysis itself.
+func moduleInternal(pass *analysis.Pass, pkg *types.Package) bool {
+	if pkg == pass.Pkg {
+		return true
+	}
+	return pass.Prog != nil && pass.Prog.Package(pkg.Path()) != nil
+}
+
+// enumConstants returns the package-level constants declared with
+// exactly type named, in declaration order.
+func enumConstants(pkg *types.Package, named *types.Named) []*types.Const {
+	var out []*types.Const
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	// Declaration order matches the iota block, which is the order a
+	// reader expects missing kinds listed in.
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

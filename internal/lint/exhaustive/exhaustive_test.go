@@ -1,0 +1,12 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"fortyconsensus/internal/lint/analysistest"
+	"fortyconsensus/internal/lint/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", exhaustive.Analyzer, "exproto")
+}

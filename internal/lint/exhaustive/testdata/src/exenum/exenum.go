@@ -1,0 +1,14 @@
+// Package exenum declares a cross-package enum for the exhaustive
+// fixtures.
+package exenum
+
+// Phase is a protocol phase enum declared outside the switching
+// package.
+type Phase uint8
+
+// The declared phases.
+const (
+	Prepare Phase = iota + 1
+	Commit
+	Abort
+)

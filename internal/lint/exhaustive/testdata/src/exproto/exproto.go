@@ -1,0 +1,109 @@
+// Package exproto exercises the exhaustive analyzer: full coverage,
+// missing arms with and without default, cross-package enums, and
+// out-of-scope switches.
+package exproto
+
+import (
+	"go/token"
+
+	"fix/exenum"
+)
+
+// MsgKind is the in-package message enum.
+type MsgKind uint8
+
+// The declared kinds.
+const (
+	MsgPrepare MsgKind = iota + 1
+	MsgPromise
+	MsgAccept
+	MsgAccepted
+)
+
+// lone has a single constant, so it is a named scalar, not an enum.
+type lone uint8
+
+const only lone = 1
+
+// Full covers everything: no finding.
+func Full(k MsgKind) string {
+	switch k {
+	case MsgPrepare:
+		return "prepare"
+	case MsgPromise:
+		return "promise"
+	case MsgAccept:
+		return "accept"
+	case MsgAccepted:
+		return "accepted"
+	}
+	return "unknown"
+}
+
+// Partial drops two kinds on the floor.
+func Partial(k MsgKind) string {
+	switch k { // want "switch over MsgKind is not exhaustive: missing MsgAccept, MsgAccepted"
+	case MsgPrepare:
+		return "prepare"
+	case MsgPromise:
+		return "promise"
+	}
+	return ""
+}
+
+// DefaultDoesNotCover: the default clause is exactly where a new kind
+// disappears silently.
+func DefaultDoesNotCover(k MsgKind) string {
+	switch k { // want "switch over MsgKind is not exhaustive: missing MsgAccepted"
+	case MsgPrepare, MsgPromise, MsgAccept:
+		return "known"
+	default:
+		return "dropped"
+	}
+}
+
+// CrossPackage switches over a helper package's enum.
+func CrossPackage(p exenum.Phase) bool {
+	switch p { // want "switch over exenum.Phase is not exhaustive: missing Abort"
+	case exenum.Prepare, exenum.Commit:
+		return true
+	}
+	return false
+}
+
+// StdlibEnumIgnored: only module-internal enums are in scope.
+func StdlibEnumIgnored(t token.Token) bool {
+	switch t {
+	case token.ADD:
+		return true
+	}
+	return false
+}
+
+// SingleConstantIgnored: one constant is a sentinel, not an enum.
+func SingleConstantIgnored(l lone) bool {
+	switch l {
+	case only:
+		return true
+	}
+	return false
+}
+
+// Untagged switches are ordinary conditionals.
+func Untagged(k MsgKind) string {
+	switch {
+	case k == MsgPrepare:
+		return "prepare"
+	}
+	return ""
+}
+
+// Suppressed shows the house directive applies.
+func Suppressed(k MsgKind) bool {
+	//lint:allow exhaustive only the two proposer kinds matter here; every other kind is the acceptor's
+	switch k {
+	case MsgPrepare, MsgAccept:
+		return true
+	}
+	return false
+}

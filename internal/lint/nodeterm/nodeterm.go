@@ -34,18 +34,20 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// wallClock are the time package functions that read or schedule on
-// real time. Duration arithmetic and constants stay legal.
-var wallClock = map[string]bool{
+// WallClock are the time package functions that read or schedule on
+// real time. Duration arithmetic and constants stay legal. The tables
+// are exported because determtaint propagates the same source set
+// transitively.
+var WallClock = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,
 	"After": true, "AfterFunc": true, "Tick": true,
 	"NewTimer": true, "NewTicker": true,
 }
 
-// globalRand are the math/rand package-level functions driven by the
+// GlobalRand are the math/rand package-level functions driven by the
 // shared global Source. Constructors for an explicitly seeded
 // generator (New, NewSource, NewZipf) are the sanctioned alternative.
-var globalRand = map[string]bool{
+var GlobalRand = map[string]bool{
 	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
 	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
 	"Float32": true, "Float64": true, "ExpFloat64": true,
@@ -55,9 +57,36 @@ var globalRand = map[string]bool{
 	"Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
 }
 
-// envReads are the os functions that smuggle host state into a run.
-var envReads = map[string]bool{
+// EnvReads are the os functions that smuggle host state into a run.
+var EnvReads = map[string]bool{
 	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+}
+
+// Forbidden classifies one stdlib function against the contract,
+// returning a short description of the nondeterminism it introduces
+// (empty when the function is fine). Methods are never forbidden —
+// a seeded *rand.Rand is the sanctioned randomness source.
+func Forbidden(fn *types.Func) string {
+	if fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if WallClock[fn.Name()] {
+			return "time." + fn.Name() + " (wall clock)"
+		}
+	case "math/rand", "math/rand/v2":
+		if GlobalRand[fn.Name()] {
+			return "rand." + fn.Name() + " (global randomness)"
+		}
+	case "os":
+		if EnvReads[fn.Name()] {
+			return "os." + fn.Name() + " (host environment)"
+		}
+	case "crypto/rand":
+		return "crypto/rand." + fn.Name() + " (entropy)"
+	}
+	return ""
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -71,6 +100,8 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				checkCall(pass, n)
+			case *ast.SelectorExpr:
+				checkRef(pass, n)
 			case *ast.GoStmt:
 				pass.Reportf(n.Pos(), "go statement hands scheduling to the Go runtime; protocol steps must run on the deterministic event loop")
 			case *ast.SendStmt:
@@ -94,18 +125,20 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	return nil, nil
 }
 
-// checkCall flags calls to the forbidden standard-library functions.
+// checkCall flags close(ch); every selector-based forbidden function
+// is handled by checkRef, whether called or referenced as a value.
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		// close(ch) is the only forbidden non-selector call.
-		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" {
-			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
-				pass.Reportf(call.Pos(), "close on a channel in protocol code")
-			}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+			pass.Reportf(call.Pos(), "close on a channel in protocol code")
 		}
-		return
 	}
+}
+
+// checkRef flags any use of a forbidden standard-library function —
+// called directly, or captured as a function value (`f := time.Now`)
+// that would launder the read past a call-site check.
+func checkRef(pass *analysis.Pass, sel *ast.SelectorExpr) {
 	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
 	if !ok || fn.Pkg() == nil {
 		return
@@ -115,16 +148,18 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	}
 	switch fn.Pkg().Path() {
 	case "time":
-		if wallClock[fn.Name()] {
-			pass.Reportf(call.Pos(), "time.%s reads the wall clock; protocol code must use the simulated tick passed in by the runner", fn.Name())
+		if WallClock[fn.Name()] {
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; protocol code must use the simulated tick passed in by the runner", fn.Name())
 		}
 	case "math/rand", "math/rand/v2":
-		if globalRand[fn.Name()] {
-			pass.Reportf(call.Pos(), "rand.%s uses the global generator; thread a seeded *rand.Rand through the config instead", fn.Name())
+		if GlobalRand[fn.Name()] {
+			pass.Reportf(sel.Pos(), "rand.%s uses the global generator; thread a seeded *rand.Rand through the config instead", fn.Name())
 		}
 	case "os":
-		if envReads[fn.Name()] {
-			pass.Reportf(call.Pos(), "os.%s reads host environment; configuration must flow through Config so runs are reproducible", fn.Name())
+		if EnvReads[fn.Name()] {
+			pass.Reportf(sel.Pos(), "os.%s reads host environment; configuration must flow through Config so runs are reproducible", fn.Name())
 		}
+	case "crypto/rand":
+		pass.Reportf(sel.Pos(), "crypto/rand.%s draws real entropy; derive key material from the run seed instead", fn.Name())
 	}
 }

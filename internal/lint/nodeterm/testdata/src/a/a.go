@@ -30,8 +30,15 @@ func seeded() *rand.Rand { return rand.New(rand.NewSource(42)) }
 
 func keyMaterial() []byte {
 	b := make([]byte, 16)
-	_, _ = crand.Read(b)
+	_, _ = crand.Read(b) // want "crypto/rand.Read draws real entropy"
 	return b
+}
+
+// Capturing a forbidden function as a value launders it past a pure
+// call-site check; references are flagged like calls.
+func laundered() func() time.Time {
+	f := time.Now // want "time.Now reads the wall clock"
+	return f
 }
 
 func env() string {

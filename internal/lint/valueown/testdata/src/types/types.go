@@ -1,0 +1,17 @@
+// Package types is the fixture stand-in for the module's shared
+// internal/types package; valueown recognizes the Value named type by
+// name and package name so fixtures stay module-independent.
+package types
+
+// Value mirrors fortyconsensus/internal/types.Value.
+type Value []byte
+
+// Clone returns an independent copy of v.
+func (v Value) Clone() Value {
+	if v == nil {
+		return nil
+	}
+	c := make(Value, len(v))
+	copy(c, v)
+	return c
+}

@@ -1,0 +1,146 @@
+// Package voproto reproduces the aliasing bug shapes the PR 7 manual
+// audit guarded against when defensive clones were dropped from the
+// raft/multipaxos/pbft/smr/commit hot paths.
+package voproto
+
+import "fix/types"
+
+// Entry is a replicated log entry sharing its Value.
+type Entry struct {
+	Term uint64
+	Val  types.Value
+}
+
+// Message is a wire message carrying a batch of entries.
+type Message struct {
+	Kind    uint8
+	Val     types.Value
+	Entries []Entry
+}
+
+// Node is a protocol replica.
+type Node struct {
+	log   []Entry
+	held  []Entry
+	heldV []types.Value
+	out   []Message
+}
+
+// --- mutate-after-publish -------------------------------------------------
+
+// MutateAfterSend is the canonical bug: the value is already inside an
+// outbound message sharing the same backing array.
+func (n *Node) MutateAfterSend(v types.Value) {
+	n.out = append(n.out, Message{Kind: 1, Val: v})
+	v[0] = 'x' // want "types.Value v is mutated after being published"
+}
+
+// CopyAfterLogPublish overwrites bytes a log entry already shares.
+func (n *Node) CopyAfterLogPublish(v, src types.Value) {
+	n.log = append(n.log, Entry{Term: 1, Val: v})
+	copy(v, src) // want "copy into published types.Value v overwrites shared bytes"
+}
+
+// GrowAfterPublish may write the shared array in place when capacity
+// allows.
+func (n *Node) GrowAfterPublish(v types.Value) {
+	n.out = append(n.out, Message{Val: v})
+	v = append(v, 0) // want "append to published types.Value v may write the shared backing array"
+	_ = v
+}
+
+// MutateAfterHandoff: passing a value to another function hands over
+// ownership too.
+func (n *Node) MutateAfterHandoff(v types.Value) {
+	n.stash(v)
+	v[0]++ // want "types.Value v is mutated after being published"
+}
+
+func (n *Node) stash(v types.Value) { n.heldV = append(n.heldV, v) }
+
+// BuildThenPublish is the legal order: mutate while owned, publish,
+// stop writing.
+func (n *Node) BuildThenPublish() {
+	v := make(types.Value, 8)
+	v[0] = 'a' // owned: fine
+	copy(v[1:], "bcdefgh")
+	n.out = append(n.out, Message{Val: v})
+}
+
+// ReassignRestartsOwnership: a fresh value under the same name is
+// owned again.
+func (n *Node) ReassignRestartsOwnership(v types.Value) {
+	n.out = append(n.out, Message{Val: v})
+	v = make(types.Value, 4)
+	v[0] = 1 // fresh value: fine
+	_ = v
+}
+
+// CloneBreaksAliasing is the sanctioned escape hatch.
+func (n *Node) CloneBreaksAliasing(v types.Value) {
+	n.out = append(n.out, Message{Val: v})
+	w := v.Clone()
+	w[0] = 'y' // independent copy: fine
+}
+
+// AliasStaysPublished: a plain rename still points at shared bytes.
+func (n *Node) AliasStaysPublished(v types.Value) {
+	n.out = append(n.out, Message{Val: v})
+	w := v
+	w[0] = 'z' // want "types.Value w is mutated after being published"
+}
+
+// --- retain-borrowed-slice ------------------------------------------------
+
+// RetainBatchParam stores the loaned slice itself.
+func (n *Node) RetainBatchParam(entries []Entry) {
+	n.held = entries // want "borrowed batch slice entries is retained past the handler return"
+}
+
+// RetainMessageField retains a reslice of the message's batch.
+func (n *Node) RetainMessageField(m Message) {
+	n.held = m.Entries[1:] // want "borrowed batch slice m.Entries is retained past the handler return"
+}
+
+// RetainViaAlias launders the loan through a local name.
+func (n *Node) RetainViaAlias(m Message) {
+	es := m.Entries
+	n.held = es // want "borrowed batch slice es is retained past the handler return"
+}
+
+// ForwardBorrowed ships the loaned array inside a new message.
+func (n *Node) ForwardBorrowed(m Message) {
+	n.out = append(n.out, Message{Entries: m.Entries}) // want "borrowed batch slice m.Entries is stored into a composite literal"
+}
+
+// WriteBorrowedElement mutates the shared backing array in place.
+func (n *Node) WriteBorrowedElement(m Message) {
+	m.Entries[0].Val = nil // want "borrowed batch slice m.Entries is written in place"
+}
+
+// OverwriteBorrowedSlot replaces a whole loaned element.
+func (n *Node) OverwriteBorrowedSlot(m Message, e Entry) {
+	m.Entries[0] = e // want "borrowed batch slice m.Entries is written in place"
+}
+
+// CopyElementsIsFine is the sanctioned pattern: spread appends and
+// element loops copy headers into receiver-owned arrays.
+func (n *Node) CopyElementsIsFine(m Message) {
+	n.log = append(n.log, m.Entries...)
+	for _, e := range m.Entries {
+		n.held = append(n.held, e)
+	}
+}
+
+// RestoreOwnsTarget: a pointer struct param is a mutation target the
+// caller hands over (a node being restored, a builder), not a loaned
+// message, so re-slicing its batch fields is the param's whole purpose.
+func RestoreOwnsTarget(n *Node, keep int) {
+	n.log = n.log[:keep]
+}
+
+// SuppressedRetention shows the house directive applies.
+func (n *Node) SuppressedRetention(entries []Entry) {
+	//lint:allow valueown fixture proves a reasoned suppression is honored
+	n.held = entries
+}

@@ -1,0 +1,387 @@
+// Package valueown enforces the types.Value ownership discipline that
+// lets the protocol hot paths share payload bytes instead of cloning
+// them on every hop (DESIGN.md, "Parallel campaigns & allocation
+// discipline"). The contract has two halves, and this analyzer checks
+// the two aliasing-bug shapes that violate them:
+//
+//   - mutate-after-publish: a Value is immutable once it has been
+//     handed over — stored into a message or log-entry struct, placed
+//     in a composite literal, appended to an outliving slice, or
+//     passed to another function. Writing through the slice after that
+//     point (v[i] = x, copy(v, …), or regrowing it with append, which
+//     may write the shared backing array in place) corrupts every
+//     holder of the same bytes, including duplicate deliveries of the
+//     same simulated message.
+//
+//   - retain-borrowed-slice: batch slices arriving in a handler's
+//     message (AppendEntries batches, catch-up Commit batches) are
+//     loaned for the duration of the call. Storing the slice itself —
+//     into a receiver field, a package variable, an outgoing composite
+//     literal, or a slice-of-slices — retains an alias past the
+//     handler return; the sender and duplicate deliveries share the
+//     backing array, so a later in-place write becomes action at a
+//     distance. Copying the elements (append(dst, batch...) or an
+//     explicit element loop) is the sanctioned pattern, and writing
+//     a borrowed element in place is flagged for the same reason.
+//
+// The analysis is per-function and syntactic in flow (statements are
+// judged in source order), which is exactly the granularity the PR 7
+// manual audit used; //lint:allow valueown <reason> waives a site with
+// a written argument.
+package valueown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fortyconsensus/internal/lint/analysis"
+)
+
+// Analyzer is the valueown check.
+var Analyzer = &analysis.Analyzer{
+	Name: "valueown",
+	Doc:  "enforce types.Value ownership: no mutation after publish, no retention of borrowed batch slices past handler return",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			newFnCheck(pass, fd).walk(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// isValue reports whether t is the shared types.Value named type (or
+// the fixture stand-in: any type named Value in a package named
+// "types").
+func isValue(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Value" && obj.Pkg() != nil && obj.Pkg().Name() == "types"
+}
+
+// isBatchSlice reports whether t is a loanable batch slice: a slice of
+// types.Value, or a slice of named structs carrying a types.Value
+// field (log entries, requests, wire messages).
+func isBatchSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem := sl.Elem()
+	if isValue(elem) {
+		return true
+	}
+	st, ok := elem.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isValue(ft) || isBatchSlice(ft) {
+			return true
+		}
+	}
+	return false
+}
+
+// fnCheck carries the per-function ownership state.
+type fnCheck struct {
+	pass *analysis.Pass
+	info *types.Info
+
+	// published marks Value-typed locals that have been handed over.
+	published map[types.Object]bool
+	// borrowed marks slice-typed objects loaned to this function
+	// (batch params and locals aliasing them).
+	borrowed map[types.Object]bool
+	// borrowedField marks struct params (message values) whose batch
+	// slice fields are loaned: param object -> field name -> true.
+	borrowedField map[types.Object]map[string]bool
+}
+
+func newFnCheck(pass *analysis.Pass, fd *ast.FuncDecl) *fnCheck {
+	c := &fnCheck{
+		pass:          pass,
+		info:          pass.TypesInfo,
+		published:     make(map[types.Object]bool),
+		borrowed:      make(map[types.Object]bool),
+		borrowedField: make(map[types.Object]map[string]bool),
+	}
+	if fd.Type.Params == nil {
+		return c
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			t := obj.Type()
+			if isBatchSlice(t) {
+				c.borrowed[obj] = true
+				continue
+			}
+			// A message struct param loans its batch slice fields.
+			// Messages travel by value in this codebase; a pointer
+			// struct param (a node being restored, a builder) is handed
+			// over for mutation, so its fields are owned, not loaned.
+			if _, ok := t.Underlying().(*types.Pointer); ok {
+				continue
+			}
+			if s, ok := t.Underlying().(*types.Struct); ok {
+				for i := 0; i < s.NumFields(); i++ {
+					f := s.Field(i)
+					if isBatchSlice(f.Type()) {
+						if c.borrowedField[obj] == nil {
+							c.borrowedField[obj] = make(map[string]bool)
+						}
+						c.borrowedField[obj][f.Name()] = true
+					}
+				}
+			}
+		}
+	}
+	return c
+}
+
+// walk judges the body in source order.
+func (c *fnCheck) walk(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.assign(n)
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.CompositeLit:
+			c.composite(n)
+		case *ast.IncDecStmt:
+			if obj := c.valueIndexTarget(n.X); obj != nil && c.published[obj] {
+				c.pass.Reportf(n.Pos(), "types.Value %s is mutated after being published; values are immutable once handed over — Clone at the boundary instead", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// assign handles publication, mutation, aliasing and retention through
+// assignment statements.
+func (c *fnCheck) assign(as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		}
+		lhs = ast.Unparen(lhs)
+
+		// Mutation: writing an element of a published Value.
+		if obj := c.valueIndexTarget(lhs); obj != nil && c.published[obj] {
+			c.pass.Reportf(as.Pos(), "types.Value %s is mutated after being published; values are immutable once handed over — Clone at the boundary instead", obj.Name())
+		}
+		// Mutation: writing an element of a borrowed batch slice.
+		if idx, ok := lhs.(*ast.IndexExpr); ok {
+			if root := c.borrowedExpr(idx.X); root != "" {
+				c.pass.Reportf(as.Pos(), "borrowed batch slice %s is written in place; the sender and duplicate deliveries share its backing array", root)
+			}
+			// Publication: v stored into an element slot.
+			c.publishIdents(rhs)
+		}
+
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			obj := c.info.Defs[l]
+			if obj == nil {
+				obj = c.info.Uses[l]
+			}
+			if obj == nil || rhs == nil {
+				continue
+			}
+			if isValue(obj.Type()) {
+				// Reassignment makes the name own a different value;
+				// publication state restarts unless the RHS itself is a
+				// published/borrowed alias.
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+					src := c.info.Uses[id]
+					c.published[obj] = src != nil && c.published[src]
+				} else if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && c.isAppendOf(call, obj) {
+					// v = append(v, ...) keeps identity; judged in call().
+				} else {
+					c.published[obj] = false
+				}
+			}
+			// Aliasing a borrowed slice keeps it borrowed under the new
+			// name.
+			if root := c.borrowedExpr(rhs); root != "" && isBatchSlice(obj.Type()) {
+				c.borrowed[obj] = true
+			}
+		case *ast.SelectorExpr:
+			// Writing a field of a borrowed element (m.Entries[0].Val
+			// = x) mutates the shared backing array in place.
+			if idx, ok := ast.Unparen(l.X).(*ast.IndexExpr); ok {
+				if root := c.borrowedExpr(idx.X); root != "" {
+					c.pass.Reportf(as.Pos(), "borrowed batch slice %s is written in place; the sender and duplicate deliveries share its backing array", root)
+				}
+			}
+			// Storing into a field: publication for Values, retention
+			// for borrowed slices.
+			c.publishIdents(rhs)
+			if root := c.borrowedExpr(rhs); root != "" {
+				c.pass.Reportf(as.Pos(), "borrowed batch slice %s is retained past the handler return (stored into %s); copy the elements instead",
+					root, types.ExprString(l))
+			}
+		case *ast.StarExpr:
+			c.publishIdents(rhs)
+		}
+	}
+}
+
+// call handles append/copy mutation of published values, publication
+// through call arguments, and retention via slice-of-slices appends.
+func (c *fnCheck) call(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if len(call.Args) == 0 {
+					return
+				}
+				if obj := c.valueObj(call.Args[0]); obj != nil && c.published[obj] {
+					c.pass.Reportf(call.Pos(), "append to published types.Value %s may write the shared backing array in place; Clone before growing", obj.Name())
+				}
+				// Retaining the borrowed slice as one element of a
+				// slice-of-slices; spread appends copy elements and are
+				// fine.
+				if call.Ellipsis == token.NoPos {
+					for _, a := range call.Args[1:] {
+						if root := c.borrowedExpr(a); root != "" {
+							c.pass.Reportf(call.Pos(), "borrowed batch slice %s is retained past the handler return (appended as an element); copy the elements instead", root)
+						}
+						c.publishIdents(a)
+					}
+				}
+			case "copy":
+				if len(call.Args) > 0 {
+					if obj := c.valueObj(call.Args[0]); obj != nil && c.published[obj] {
+						c.pass.Reportf(call.Pos(), "copy into published types.Value %s overwrites shared bytes; values are immutable once handed over", obj.Name())
+					}
+				}
+			}
+			return
+		}
+	}
+	// An ordinary call takes ownership of any Value argument.
+	for _, a := range call.Args {
+		c.publishIdents(a)
+	}
+}
+
+// composite marks Values placed directly into composite literals as
+// published (the literal is a message, entry, or batch being built),
+// and flags borrowed slices stored wholesale into one.
+func (c *fnCheck) composite(lit *ast.CompositeLit) {
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			el = kv.Value
+		}
+		el = ast.Unparen(el)
+		if obj := c.valueObj(el); obj != nil {
+			c.published[obj] = true
+		}
+		if root := c.borrowedExpr(el); root != "" {
+			c.pass.Reportf(el.Pos(), "borrowed batch slice %s is stored into a composite literal that may outlive the handler; copy the elements instead", root)
+		}
+	}
+}
+
+// publishIdents marks every directly-appearing Value local in e as
+// published. Receivers of method calls (v.Clone()) do not publish.
+func (c *fnCheck) publishIdents(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	if obj := c.valueObj(e); obj != nil {
+		c.published[obj] = true
+	}
+}
+
+// valueObj resolves e (after unwrapping parens and slicing) to a
+// tracked Value-typed local object, or nil.
+func (c *fnCheck) valueObj(e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(sl.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.info.Uses[id]
+	if obj == nil {
+		obj = c.info.Defs[id]
+	}
+	if obj == nil || !isValue(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// valueIndexTarget returns the Value object when e is an index into a
+// tracked Value (v[i]), else nil.
+func (c *fnCheck) valueIndexTarget(e ast.Expr) types.Object {
+	idx, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return nil
+	}
+	return c.valueObj(idx.X)
+}
+
+// borrowedExpr reports whether e denotes a borrowed batch slice (a
+// loaned param, a local alias, a message param's batch field, or a
+// reslice of any of those), returning a printable name or "".
+func (c *fnCheck) borrowedExpr(e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	e = ast.Unparen(e)
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(sl.X)
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := c.info.Uses[x]; obj != nil && c.borrowed[obj] {
+			return x.Name
+		}
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if obj := c.info.Uses[id]; obj != nil && c.borrowedField[obj][x.Sel.Name] {
+				return id.Name + "." + x.Sel.Name
+			}
+		}
+	}
+	return ""
+}
+
+// isAppendOf reports whether call is append(obj, ...).
+func (c *fnCheck) isAppendOf(call *ast.CallExpr, obj types.Object) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := c.info.Uses[id].(*types.Builtin)
+	if !ok || b.Name() != "append" || len(call.Args) == 0 {
+		return false
+	}
+	return c.valueObj(call.Args[0]) == obj
+}

@@ -1,0 +1,12 @@
+package valueown_test
+
+import (
+	"testing"
+
+	"fortyconsensus/internal/lint/analysistest"
+	"fortyconsensus/internal/lint/valueown"
+)
+
+func TestValueown(t *testing.T) {
+	analysistest.Run(t, "testdata", valueown.Analyzer, "voproto")
+}

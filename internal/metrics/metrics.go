@@ -9,6 +9,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"fortyconsensus/internal/det"
 )
 
 // Histogram accumulates integer samples (latencies in ticks, message
@@ -219,11 +221,7 @@ func (f *Figure) String() string {
 			xset[x] = true
 		}
 	}
-	xs := make([]float64, 0, len(xset))
-	for x := range xset {
-		xs = append(xs, x)
-	}
-	sort.Float64s(xs)
+	xs := det.SortedKeys(xset)
 	headers := append([]string{f.XLabel}, make([]string, len(f.series))...)
 	for i, s := range f.series {
 		headers[i+1] = s.Name

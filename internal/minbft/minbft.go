@@ -289,6 +289,7 @@ func (r *Replica) Step(m Message) {
 }
 
 func (r *Replica) process(m Message) {
+	//lint:allow exhaustive Step consumes MsgRequest before USIG sequencing; process sees only the UI-certified kinds
 	switch m.Kind {
 	case MsgPrepare:
 		r.onPrepare(m)

@@ -110,6 +110,7 @@ func Generate(rng *simnet.RNG, cfg GenConfig) Schedule {
 	// here because each node holds at most one open window at a time.
 	downAt := func(start, end int) int {
 		n := 0
+		//lint:allow maporder counts windows overlapping the span; the total is the same in any iteration order
 		for _, ws := range downWindows {
 			if overlapping(ws, start, end) > 0 {
 				n++

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/types"
 )
 
@@ -239,12 +240,7 @@ func (s *Schedule) Classes() []string {
 	for _, e := range s.Events {
 		seen[e.Op.Class()] = true
 	}
-	out := make([]string, 0, len(seen))
-	for c := range seen {
-		out = append(out, c)
-	}
-	sort.Strings(out)
-	return out
+	return det.SortedKeys(seen)
 }
 
 // MaxTick returns the largest event tick (0 for an empty schedule).

@@ -2,10 +2,10 @@ package nemesis
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/types"
 )
 
@@ -110,12 +110,11 @@ var opsByKeyword = func() map[string]Op {
 // CLI -classes parsing and usage text.
 func Keywords() []string {
 	var out []string
-	for kw, op := range opsByKeyword {
-		if !op.IsRecovery() {
+	for _, kw := range det.SortedKeys(opsByKeyword) {
+		if !opsByKeyword[kw].IsRecovery() {
 			out = append(out, kw)
 		}
 	}
-	sort.Strings(out)
 	return out
 }
 

@@ -162,9 +162,10 @@ func (l *Ledger) weight(v *Validator) uint64 {
 			age = l.params.MaxAge
 		}
 		return v.Stake * age
-	default:
+	case Randomized:
 		return v.Stake
 	}
+	return v.Stake
 }
 
 // beacon derives slot randomness from the seed and slot number.
@@ -211,7 +212,9 @@ func (l *Ledger) Advance(payload []types.Value) (Block, bool) {
 	if !ok {
 		return Block{}, false
 	}
-	b := Block{Slot: slot, Proposer: id, Parent: l.tipID, Payload: payload}
+	// The caller keeps ownership of payload; the block must not retain
+	// its backing array.
+	b := Block{Slot: slot, Proposer: id, Parent: l.tipID, Payload: append([]types.Value(nil), payload...)}
 	l.apply(b)
 	return b, true
 }

@@ -512,7 +512,7 @@ func (n *Node) Tick() {
 		if n.hbIn <= 0 {
 			n.replicateAll()
 		}
-	default:
+	case follower, candidate:
 		n.electionIn--
 		if n.electionIn <= 0 {
 			n.campaign()

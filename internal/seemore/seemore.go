@@ -261,7 +261,7 @@ func (r *Replica) getSlot(seq types.Seq) *slot {
 		case Mode1TrustedCentralized:
 			needVote = quorum.Hybrid{M: r.cfg.M, C: r.cfg.C}.Threshold() // hybrid quorum incl. primary
 			needValid = 0
-		default:
+		case Mode2TrustedDecentralized, Mode3UntrustedDecentralized:
 			needVote = quorum.Byzantine{F: r.cfg.M}.Threshold() // proxy quorum
 			needValid = quorum.Byzantine{F: r.cfg.M}.Threshold()
 		}

@@ -357,7 +357,6 @@ func (co *Coordinator) Knows(tx commit.TxID) bool {
 // Unresolved counts transactions not yet finished.
 func (co *Coordinator) Unresolved() int {
 	n := 0
-	//lint:allow maporder counting only; no order-sensitive effects
 	for _, t := range co.txns {
 		if t.phase != phDone {
 			n++

@@ -249,12 +249,14 @@ func (s *Server[M]) Close() {
 	}
 	s.closed = true
 	close(s.stop)
+	//lint:allow maporder teardown closes every outbound conn; close order is invisible to peers already told to stop
 	for id, pc := range s.conns {
 		pc.c.Close()
 		delete(s.conns, id)
 	}
 	s.mu.Unlock()
 	s.inMu.Lock()
+	//lint:allow maporder teardown closes every inbound conn; close order is invisible to peers already told to stop
 	for c := range s.inbound {
 		c.Close()
 	}

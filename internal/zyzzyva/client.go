@@ -18,6 +18,8 @@ const (
 
 func (p Path) String() string {
 	switch p {
+	case PathNone:
+		return "none"
 	case PathFast:
 		return "fast"
 	case PathCert:
@@ -97,6 +99,7 @@ func (c *Client) Step(m Message) {
 	if c.req == nil {
 		return
 	}
+	//lint:allow exhaustive the client consumes only the two response kinds; replica-to-replica traffic never reaches it
 	switch m.Kind {
 	case MsgSpecResponse:
 		if !m.Req.Equal(c.req) {

@@ -231,6 +231,7 @@ func (r *Replica) broadcast(m Message) {
 
 // Step consumes one delivered message.
 func (r *Replica) Step(m Message) {
+	//lint:allow exhaustive MsgSpecResponse and MsgLocalCommit are client-bound; replicas never receive them
 	switch m.Kind {
 	case MsgRequest:
 		r.onRequest(m)
