@@ -4,8 +4,9 @@ GO ?= go
 # The packages whose event loops and experiment harness run goroutines;
 # test-race covers them specifically so the race detector's cost stays
 # proportionate. explore's campaign worker pool and the shard stack it
-# drives joined the list when campaigns went parallel.
-RACE_PKGS := ./internal/runner ./internal/simnet ./internal/experiments ./internal/explore ./internal/shard/...
+# drives joined the list when campaigns went parallel; live is the
+# real-time runtime (TCP transport, per-module event loops, client).
+RACE_PKGS := ./internal/runner ./internal/simnet ./internal/experiments ./internal/explore ./internal/shard/... ./internal/live
 
 # The sharded-KV stack gated explicitly in ci: the cross-shard 2PC
 # tests and the explore campaign regression are this repo's tier-1
@@ -17,7 +18,7 @@ SHARD_PKGS := ./internal/shard/... ./internal/explore ./internal/workload
 # shard 2PC commit, explore episodes and campaign scaling).
 BENCH_PKGS := ./internal/runner ./internal/chaincrypto ./internal/pow ./internal/raft ./internal/shard ./internal/explore
 
-.PHONY: all build test test-race bench bench-json golden lint explore ci cover
+.PHONY: all build test test-race bench bench-json golden lint explore ci cover serve-smoke
 
 all: build test
 
@@ -55,6 +56,14 @@ ci: build lint explore
 	$(GO) test -race ./...
 	$(GO) test $(SHARD_PKGS) -count=1
 	$(GO) test ./internal/experiments -run TestGoldenArtifacts -count=1
+	$(MAKE) serve-smoke
+
+# End-to-end smoke over real processes and sockets: build the serve and
+# load CLIs, run a 3-node local cluster, push a load burst through the
+# client library, kill one node, push another burst, and require clean
+# SIGTERM shutdowns plus a nonzero committed-op count throughout.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Aggregate statement coverage across every package. The baseline at
 # the time cover was added is recorded in README.md ("Coverage"); a

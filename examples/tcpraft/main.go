@@ -1,6 +1,7 @@
 // TCP Raft: the same Raft replicas that power the simulations, deployed
-// over real localhost TCP sockets — elections, replication, and leader
-// failover with actual network I/O and wall-clock timers.
+// over real localhost TCP sockets by the internal/live runtime —
+// elections, replication, and leader failover with actual network I/O,
+// wall-clock timers, and the full client library in between.
 //
 //	go run ./examples/tcpraft
 package main
@@ -13,9 +14,7 @@ import (
 
 	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/kvstore"
-	"fortyconsensus/internal/raft"
-	"fortyconsensus/internal/smr"
-	"fortyconsensus/internal/transport"
+	"fortyconsensus/internal/live"
 	"fortyconsensus/internal/types"
 )
 
@@ -25,82 +24,88 @@ func main() {
 	// Bind ephemeral ports first so every node knows the full roster.
 	lns := make([]net.Listener, n)
 	addrs := make(map[types.NodeID]string, n)
-	peers := make([]types.NodeID, n)
+	addrList := make([]string, n)
 	for i := 0; i < n; i++ {
-		ln, addr, err := transport.Listen()
+		ln, addr, err := live.Listen()
 		if err != nil {
 			log.Fatal(err)
 		}
 		lns[i] = ln
 		addrs[types.NodeID(i)] = addr
-		peers[i] = types.NodeID(i)
+		addrList[i] = addr
 	}
 	fmt.Println("cluster addresses:")
 	for _, id := range det.SortedKeys(addrs) {
 		fmt.Printf("  node %v: %s\n", id, addrs[id])
 	}
 
-	nodes := make([]*raft.Node, n)
-	servers := make([]*transport.Server[raft.Message], n)
+	// One live server per node, each hosting a single raft group.
+	servers := make([]*live.Server, n)
 	for i := 0; i < n; i++ {
-		nodes[i] = raft.New(types.NodeID(i), raft.Config{Peers: peers, Seed: uint64(i) + 77})
-		srv, err := transport.NewServerOn(nodes[i], lns[i], transport.Config[raft.Message]{
-			Self: types.NodeID(i), Addrs: addrs, Dest: raft.Dest,
+		srv, err := live.NewServerOn(lns[i], live.ServerConfig{
+			Self:      types.NodeID(i),
+			Addrs:     addrs,
+			Shards:    1,
+			Backend:   live.BackendRaft,
 			TickEvery: 3 * time.Millisecond,
+			Seed:      77,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		servers[i] = srv
-		srv.Serve()
+		srv.Start()
 		defer srv.Close()
 	}
 
-	leader := waitLeader(servers, nodes, -1)
-	fmt.Printf("\nleader elected over TCP: node %d (term %d)\n", leader, nodes[leader].Term())
+	leader := waitLeader(servers, -1)
+	fmt.Printf("\nleader elected over TCP: node %d\n", leader)
 
-	// Replicate real commands.
-	for i := 1; i <= 5; i++ {
-		op := kvstore.Incr("counter", 1)
-		req := smr.EncodeRequest(types.Request{Client: 1, SeqNo: uint64(i), Op: op.Encode()})
-		servers[leader].Submit(func() { nodes[leader].Submit(req) })
+	// Replicate real commands through the client library: leader
+	// discovery, redirects, and retries all exercise the real path.
+	cl, err := live.NewClient(live.ClientConfig{Addrs: addrList, Shards: 1, SessionBase: 1000})
+	if err != nil {
+		log.Fatal(err)
 	}
-	waitFrontier(servers, nodes, 6, -1) // 5 commands + the term no-op
-	fmt.Println("5 commands replicated and committed on all live nodes ✓")
+	defer cl.Close()
+	for i := 1; i <= 5; i++ {
+		if _, err := cl.Do(kvstore.Incr("counter", 1)); err != nil {
+			log.Fatalf("incr %d: %v", i, err)
+		}
+	}
+	fmt.Println("5 commands replicated and committed ✓")
 
 	// Kill the leader's server — a real socket-level crash.
 	fmt.Printf("\nkilling leader node %d...\n", leader)
 	servers[leader].Close()
-	newLeader := waitLeader(servers, nodes, leader)
-	fmt.Printf("failover complete: node %d leads (term %d)\n", newLeader, nodes[newLeader].Term())
+	servers[leader] = nil
+	newLeader := waitLeader(servers, leader)
+	fmt.Printf("failover complete: node %d leads\n", newLeader)
 
-	req := smr.EncodeRequest(types.Request{Client: 1, SeqNo: 6, Op: kvstore.Incr("counter", 1).Encode()})
-	servers[newLeader].Submit(func() { nodes[newLeader].Submit(req) })
-	waitFrontier(servers, nodes, 7, leader)
+	if _, err := cl.Do(kvstore.Incr("counter", 1)); err != nil {
+		log.Fatalf("post-failover incr: %v", err)
+	}
 	fmt.Println("post-failover command committed ✓")
 
-	// Apply the committed log and read the counter.
-	store := kvstore.New()
-	var decisions []types.Decision
-	servers[newLeader].Inspect(func() { decisions = nodes[newLeader].TakeDecisions() })
-	exec := smr.NewExecutor(types.NodeID(newLeader), store)
-	for _, d := range decisions {
-		exec.Commit(d)
+	// Read the counter back through consensus.
+	v, err := cl.Do(kvstore.Get("counter"))
+	if err != nil {
+		log.Fatalf("get: %v", err)
 	}
-	v, _ := store.Get("counter")
 	fmt.Printf("\nfinal counter value: %s (expected 6) ✓\n", v)
+	if string(v) != "6" {
+		log.Fatalf("counter = %s, want 6", v)
+	}
 }
 
-func waitLeader(servers []*transport.Server[raft.Message], nodes []*raft.Node, skip int) int {
+func waitLeader(servers []*live.Server, skip int) int {
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
-		for i := range servers {
-			if i == skip {
+		for i, srv := range servers {
+			if i == skip || srv == nil {
 				continue
 			}
-			var lead bool
-			servers[i].Inspect(func() { lead = nodes[i].IsLeader() })
-			if lead {
+			if isLead, _, ok := srv.Leader(0); ok && isLead {
 				return i
 			}
 		}
@@ -108,26 +113,4 @@ func waitLeader(servers []*transport.Server[raft.Message], nodes []*raft.Node, s
 	}
 	log.Fatal("no leader within 15s")
 	return -1
-}
-
-func waitFrontier(servers []*transport.Server[raft.Message], nodes []*raft.Node, want types.Seq, skip int) {
-	deadline := time.Now().Add(15 * time.Second)
-	for time.Now().Before(deadline) {
-		done := true
-		for i := range servers {
-			if i == skip {
-				continue
-			}
-			var frontier types.Seq
-			servers[i].Inspect(func() { frontier = nodes[i].CommitFrontier() })
-			if frontier < want {
-				done = false
-			}
-		}
-		if done {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	log.Fatal("replication stalled")
 }

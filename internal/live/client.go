@@ -1,0 +1,406 @@
+package live
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fortyconsensus/internal/kvstore"
+	"fortyconsensus/internal/shard"
+	"fortyconsensus/internal/types"
+)
+
+// Client errors.
+var (
+	// ErrClientClosed is returned once Close has been called.
+	ErrClientClosed = errors.New("live: client closed")
+	// ErrDeadline is wrapped into the error returned when the retry
+	// loop runs out of time.
+	ErrDeadline = errors.New("live: request deadline exceeded")
+)
+
+var errNotLeader = errors.New("live: not leader")
+
+// ClientConfig wires a Client to a cluster.
+type ClientConfig struct {
+	// Addrs lists the cluster's TCP addresses; the slice index is the
+	// node ID (matching the servers' Addrs map keys).
+	Addrs []string
+	// Shards must match the servers' shard count (default 2): the
+	// client hashes keys with the same partition map to route each
+	// operation straight to its owning group's leader guess.
+	Shards int
+	// SessionBase offsets this client's smr session IDs. Each request
+	// runs under its own session (SessionBase+k with SeqNo k), so
+	// pipelined requests never trip the executor's one-outstanding-
+	// per-client dedup, while a retry reuses its session and stays
+	// exactly-once. Distinct concurrent Clients need disjoint bases.
+	SessionBase types.ClientID
+	// AttemptTimeout bounds one request attempt (default 1s).
+	AttemptTimeout time.Duration
+	// Deadline bounds a whole operation including retries (default 20s).
+	Deadline time.Duration
+	// RetryBackoff is the pause between failed attempts (default 25ms).
+	// Leader redirects with a fresh hint skip it.
+	RetryBackoff time.Duration
+	// MaxFrame caps response frames (DefaultMaxFrame if 0).
+	MaxFrame int
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Shards < 1 {
+		c.Shards = 2
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = time.Second
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 20 * time.Second
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	return c
+}
+
+// Client talks to a live cluster: it dials nodes lazily, routes each
+// operation to the shard leader it last saw (following NotLeader
+// redirects and failing over across nodes), retries under a deadline,
+// and pipelines safely — every in-flight request has its own smr
+// session, and concurrent Do/Go calls multiplex over one connection
+// per node.
+type Client struct {
+	cfg ClientConfig
+	pm  shard.PartitionMap
+
+	seq   atomic.Uint64 // per-request session/seqno counter
+	reqID atomic.Uint64 // per-attempt match token
+
+	mu     sync.Mutex
+	conns  []*cconn // index = node ID; nil or dead = (re)dial
+	leader []int    // per-shard leader guess (node index); -1 unknown
+	closed bool
+}
+
+// NewClient builds a client; no connection is made until the first
+// operation.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("live: client needs at least one address")
+	}
+	c := &Client{
+		cfg:    cfg,
+		pm:     shard.NewPartitionMap(cfg.Shards),
+		conns:  make([]*cconn, len(cfg.Addrs)),
+		leader: make([]int, cfg.Shards),
+	}
+	for i := range c.leader {
+		c.leader[i] = -1
+	}
+	return c, nil
+}
+
+// Do executes one KV command against the cluster and returns the
+// committed result. It retries across redirects, timeouts, and node
+// failures until ClientConfig.Deadline.
+func (c *Client) Do(cmd kvstore.Command) (types.Value, error) {
+	k := c.seq.Add(1)
+	req := Request{
+		Client: c.cfg.SessionBase + types.ClientID(k),
+		SeqNo:  k,
+		Op:     cmd.Encode(),
+	}
+	sh := c.pm.Shard(cmd.Key)
+	deadline := time.Now().Add(c.cfg.Deadline)
+	node := c.leaderGuess(sh)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if time.Now().After(deadline) {
+			if lastErr == nil {
+				lastErr = errors.New("no attempt completed")
+			}
+			return nil, fmt.Errorf("%w: %v", ErrDeadline, lastErr)
+		}
+		if node < 0 || node >= len(c.cfg.Addrs) {
+			node = attempt % len(c.cfg.Addrs)
+		}
+		resp, err := c.attempt(node, req)
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return nil, err
+			}
+			lastErr = fmt.Errorf("node %d: %w", node, err)
+			c.dropLeader(sh, node)
+			node = -1
+			time.Sleep(c.cfg.RetryBackoff)
+			continue
+		}
+		switch resp.Status {
+		case StatusOK:
+			c.setLeader(sh, node)
+			return resp.Result, nil
+		case StatusNotLeader:
+			lastErr = fmt.Errorf("node %d: %w", node, errNotLeader)
+			c.dropLeader(sh, node)
+			if hint := int(resp.Leader); hint >= 0 && hint < len(c.cfg.Addrs) && hint != node {
+				node = hint // fresh hint: redirect immediately
+				continue
+			}
+			node = (node + 1) % len(c.cfg.Addrs)
+			time.Sleep(c.cfg.RetryBackoff)
+		case StatusBadRequest:
+			return nil, fmt.Errorf("live: server rejected request: %s", resp.Result)
+		default: // StatusUnavailable and anything unknown
+			lastErr = fmt.Errorf("node %d: unavailable", node)
+			c.dropLeader(sh, node)
+			node = -1
+			time.Sleep(c.cfg.RetryBackoff)
+		}
+	}
+}
+
+// Call is one in-flight pipelined operation started by Go.
+type Call struct {
+	Result types.Value
+	Err    error
+	done   chan struct{}
+}
+
+// Wait blocks until the operation finishes and returns its outcome.
+func (cl *Call) Wait() (types.Value, error) {
+	<-cl.done
+	return cl.Result, cl.Err
+}
+
+// Go starts cmd without waiting — the pipelining entry point. The
+// returned Call's Wait reports the outcome; any number of calls may be
+// in flight at once.
+func (c *Client) Go(cmd kvstore.Command) *Call {
+	cl := &Call{done: make(chan struct{})}
+	go func() {
+		defer close(cl.done)
+		cl.Result, cl.Err = c.Do(cmd)
+	}()
+	return cl
+}
+
+// Close tears down every connection; in-flight operations fail.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	conns := c.conns
+	c.conns = nil
+	c.mu.Unlock()
+	for _, cn := range conns {
+		if cn != nil {
+			cn.fail(ErrClientClosed)
+		}
+	}
+}
+
+func (c *Client) leaderGuess(sh int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leader[sh]
+}
+
+func (c *Client) setLeader(sh, node int) {
+	c.mu.Lock()
+	c.leader[sh] = node
+	c.mu.Unlock()
+}
+
+// dropLeader forgets the guess only if it still points at the node
+// that just failed (a concurrent success may have updated it).
+func (c *Client) dropLeader(sh, node int) {
+	c.mu.Lock()
+	if c.leader[sh] == node {
+		c.leader[sh] = -1
+	}
+	c.mu.Unlock()
+}
+
+// attempt sends req to one node and waits for its response.
+func (c *Client) attempt(node int, req Request) (Response, error) {
+	cn, err := c.conn(node)
+	if err != nil {
+		return Response{}, err
+	}
+	req.ReqID = c.reqID.Add(1)
+	ch, err := cn.register(req.ReqID)
+	if err != nil {
+		return Response{}, err
+	}
+	if err := cn.write(req.encode()); err != nil {
+		cn.unregister(req.ReqID)
+		cn.fail(err)
+		return Response{}, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return Response{}, errors.New("connection lost")
+		}
+		return resp, nil
+	case <-time.After(c.cfg.AttemptTimeout):
+		cn.unregister(req.ReqID)
+		return Response{}, errors.New("attempt timed out")
+	}
+}
+
+// conn returns node's live connection, dialing if needed.
+func (c *Client) conn(node int) (*cconn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if cn := c.conns[node]; cn != nil && !cn.isDead() {
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+
+	// Dial outside the lock; losers of a dial race just get replaced.
+	conn, err := net.DialTimeout("tcp", c.cfg.Addrs[node], c.cfg.AttemptTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cn := newCConn(conn, c.cfg.MaxFrame)
+	if err := cn.write(encodeHello(helloClient, int64(c.cfg.SessionBase))); err != nil {
+		cn.fail(err)
+		return nil, err
+	}
+	go cn.readLoop()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cn.fail(ErrClientClosed)
+		return nil, ErrClientClosed
+	}
+	if old := c.conns[node]; old != nil && !old.isDead() {
+		// Lost a dial race; use the established winner.
+		c.mu.Unlock()
+		cn.fail(errors.New("duplicate dial"))
+		return old, nil
+	}
+	c.conns[node] = cn
+	c.mu.Unlock()
+	return cn, nil
+}
+
+// cconn is one client→server connection: writes serialized by a
+// mutex, responses demultiplexed to waiting attempts by request ID on
+// a dedicated read goroutine.
+type cconn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	max  int
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[uint64]chan Response
+	dead    bool
+}
+
+func newCConn(conn net.Conn, maxFrame int) *cconn {
+	return &cconn{
+		conn:    conn,
+		br:      bufio.NewReader(conn),
+		bw:      bufio.NewWriter(conn),
+		max:     maxFrame,
+		pending: make(map[uint64]chan Response),
+	}
+}
+
+func (cn *cconn) isDead() bool {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.dead
+}
+
+func (cn *cconn) register(reqID uint64) (chan Response, error) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.dead {
+		return nil, errors.New("connection lost")
+	}
+	ch := make(chan Response, 1)
+	cn.pending[reqID] = ch
+	return ch, nil
+}
+
+func (cn *cconn) unregister(reqID uint64) {
+	cn.mu.Lock()
+	delete(cn.pending, reqID)
+	cn.mu.Unlock()
+}
+
+func (cn *cconn) write(frame []byte) error {
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	if err := WriteFrame(cn.bw, frame); err != nil {
+		return err
+	}
+	return cn.bw.Flush()
+}
+
+// readLoop demultiplexes responses until the connection dies; then
+// every waiting attempt is failed so it can retry elsewhere.
+func (cn *cconn) readLoop() {
+	for {
+		payload, err := ReadFrame(cn.br, cn.max)
+		if err != nil {
+			cn.fail(err)
+			return
+		}
+		resp, err := decodeResponse(payload)
+		if err != nil {
+			cn.fail(err)
+			return
+		}
+		cn.mu.Lock()
+		ch, ok := cn.pending[resp.ReqID]
+		if ok {
+			delete(cn.pending, resp.ReqID)
+		}
+		cn.mu.Unlock()
+		if ok {
+			ch <- resp // buffered; never blocks
+		}
+	}
+}
+
+// fail kills the connection and wakes every waiting attempt. The
+// cause is not recorded — waiters see a closed channel and retry.
+func (cn *cconn) fail(_ error) {
+	cn.mu.Lock()
+	if cn.dead {
+		cn.mu.Unlock()
+		return
+	}
+	cn.dead = true
+	pending := cn.pending
+	cn.pending = nil
+	cn.mu.Unlock()
+	cn.conn.Close()
+	//lint:allow maporder failure wakeup; waiters are independent and order-insensitive
+	for _, ch := range pending {
+		close(ch)
+	}
+}

@@ -1,0 +1,165 @@
+package live
+
+import (
+	"reflect"
+	"testing"
+
+	"fortyconsensus/internal/multipaxos"
+	"fortyconsensus/internal/raft"
+	"fortyconsensus/internal/types"
+)
+
+func raftMessages() []raft.Message {
+	return []raft.Message{
+		{Kind: raft.MsgRequestVote, From: 1, To: 2, Term: 7, LastLogIndex: 42, LastLogTerm: 6},
+		{Kind: raft.MsgVote, From: 2, To: 1, Term: 7, Granted: true},
+		{
+			Kind: raft.MsgAppend, From: 0, To: 4, Term: 9,
+			PrevIndex: 10, PrevTerm: 8, LeaderCommit: 9,
+			Entries: []raft.LogEntry{
+				{Term: 9, Val: types.Value("set x=1")},
+				{Term: 9, Val: nil}, // leader no-op: nil value survives
+				{Term: 9, Val: types.Value{}},
+			},
+		},
+		{Kind: raft.MsgAppendResp, From: 4, To: 0, Term: 9, Success: true, MatchIndex: 13},
+		{Kind: raft.MsgForward, From: 3, To: 0, Val: types.Value("forwarded op")},
+	}
+}
+
+func paxosMessages() []multipaxos.Message {
+	return []multipaxos.Message{
+		{Kind: multipaxos.MsgPrepare, From: 1, To: 2, Ballot: types.Ballot{Num: 3, Owner: 1}},
+		{
+			Kind: multipaxos.MsgAck, From: 2, To: 1, Ballot: types.Ballot{Num: 3, Owner: 1},
+			Entries: []multipaxos.Entry{
+				{Slot: 5, AcceptNum: types.Ballot{Num: 2, Owner: 0}, Val: types.Value("old")},
+				{Slot: 6, AcceptNum: types.Ballot{Num: 1, Owner: 2}, Val: nil},
+			},
+		},
+		{Kind: multipaxos.MsgAccept, From: 1, To: 0, Ballot: types.Ballot{Num: 3, Owner: 1}, Slot: 7, Val: types.Value("v")},
+		{Kind: multipaxos.MsgCatchup, From: 0, To: 1, Commit: 11},
+	}
+}
+
+// normRaft canonicalizes a message for comparison: nil and empty
+// values are interchangeable (length 0 encodes identically).
+func normRaft(m raft.Message) raft.Message {
+	if len(m.Val) == 0 {
+		m.Val = nil
+	}
+	for i := range m.Entries {
+		if len(m.Entries[i].Val) == 0 {
+			m.Entries[i].Val = nil
+		}
+	}
+	if len(m.Entries) == 0 {
+		m.Entries = nil
+	}
+	return m
+}
+
+func normPaxos(m multipaxos.Message) multipaxos.Message {
+	if len(m.Val) == 0 {
+		m.Val = nil
+	}
+	for i := range m.Entries {
+		if len(m.Entries[i].Val) == 0 {
+			m.Entries[i].Val = nil
+		}
+	}
+	if len(m.Entries) == 0 {
+		m.Entries = nil
+	}
+	return m
+}
+
+func TestRaftCodecRoundTrip(t *testing.T) {
+	c := RaftCodec{}
+	for i, m := range raftMessages() {
+		b := c.Append(nil, m)
+		got, err := c.Decode(b)
+		if err != nil {
+			t.Fatalf("message %d: Decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(normRaft(got), normRaft(m)) {
+			t.Fatalf("message %d: round trip mismatch:\n got %+v\nwant %+v", i, got, m)
+		}
+	}
+}
+
+func TestMultiPaxosCodecRoundTrip(t *testing.T) {
+	c := MultiPaxosCodec{}
+	for i, m := range paxosMessages() {
+		b := c.Append(nil, m)
+		got, err := c.Decode(b)
+		if err != nil {
+			t.Fatalf("message %d: Decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(normPaxos(got), normPaxos(m)) {
+			t.Fatalf("message %d: round trip mismatch:\n got %+v\nwant %+v", i, got, m)
+		}
+	}
+}
+
+// Every truncation of a valid encoding must decode to an error — never
+// a panic, never a silently wrong message.
+func TestRaftCodecTruncation(t *testing.T) {
+	c := RaftCodec{}
+	for _, m := range raftMessages() {
+		b := c.Append(nil, m)
+		for cut := 0; cut < len(b); cut++ {
+			if _, err := c.Decode(b[:cut]); err == nil {
+				t.Fatalf("truncation at %d/%d decoded without error", cut, len(b))
+			}
+		}
+		// Trailing garbage must be rejected too.
+		if _, err := c.Decode(append(append([]byte{}, b...), 0xff)); err == nil {
+			t.Fatal("trailing garbage decoded without error")
+		}
+	}
+}
+
+func TestMultiPaxosCodecTruncation(t *testing.T) {
+	c := MultiPaxosCodec{}
+	for _, m := range paxosMessages() {
+		b := c.Append(nil, m)
+		for cut := 0; cut < len(b); cut++ {
+			if _, err := c.Decode(b[:cut]); err == nil {
+				t.Fatalf("truncation at %d/%d decoded without error", cut, len(b))
+			}
+		}
+		if _, err := c.Decode(append(append([]byte{}, b...), 0xff)); err == nil {
+			t.Fatal("trailing garbage decoded without error")
+		}
+	}
+}
+
+func TestCodecRejectsBadKind(t *testing.T) {
+	rc := RaftCodec{}
+	b := rc.Append(nil, raft.Message{Kind: raft.MsgRequestVote})
+	b[0] = 0xee
+	if _, err := rc.Decode(b); err == nil {
+		t.Fatal("raft: out-of-range kind decoded without error")
+	}
+	pc := MultiPaxosCodec{}
+	b = pc.Append(nil, multipaxos.Message{Kind: multipaxos.MsgPrepare})
+	b[0] = 0
+	if _, err := pc.Decode(b); err == nil {
+		t.Fatal("multipaxos: out-of-range kind decoded without error")
+	}
+}
+
+// A corrupt entry count must not drive a huge allocation: the count
+// guard rejects counts that cannot fit the remaining bytes.
+func TestCodecCorruptCountRejected(t *testing.T) {
+	c := RaftCodec{}
+	m := raft.Message{Kind: raft.MsgAppend, Entries: []raft.LogEntry{{Term: 1, Val: types.Value("x")}}}
+	b := c.Append(nil, m)
+	// The entry count is the u32 right before the single 13-byte entry.
+	countOff := len(b) - 13 - 4
+	b[countOff], b[countOff+1], b[countOff+2], b[countOff+3] = 0xff, 0xff, 0xff, 0xff
+	if _, err := c.Decode(b); err == nil {
+		t.Fatal("corrupt count decoded without error")
+	}
+}

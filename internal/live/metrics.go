@@ -1,0 +1,133 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fortyconsensus/internal/metrics"
+)
+
+// ServerMetrics aggregates one server's counters: per-shard committed
+// client operations, a submit→apply latency histogram (microseconds),
+// and request accounting. It reuses internal/metrics' CounterSet and
+// Histogram behind a mutex — those types are single-threaded by
+// design, and here shard event loops and the HTTP endpoint race.
+type ServerMetrics struct {
+	mu      sync.Mutex
+	commits *metrics.CounterSet // per-shard ops committed and answered here
+	latency *metrics.Histogram  // submit→apply, µs
+
+	requests  atomic.Uint64 // client requests received
+	applied   atomic.Uint64 // log entries applied across shards
+	notLeader atomic.Uint64 // submissions redirected
+	badReq    atomic.Uint64 // undecodable requests
+
+	started time.Time
+}
+
+func newServerMetrics() *ServerMetrics {
+	return &ServerMetrics{
+		commits: metrics.NewCounterSet(),
+		latency: metrics.NewHistogram(),
+		started: time.Now(),
+	}
+}
+
+func (m *ServerMetrics) observeCommit(shard int, lat time.Duration) {
+	m.mu.Lock()
+	m.commits.Add(fmt.Sprintf("shard%d", shard), 1)
+	m.latency.Add(int(lat.Microseconds()))
+	m.mu.Unlock()
+}
+
+// Committed returns the total client operations committed and answered
+// by this server.
+func (m *ServerMetrics) Committed() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commits.Total()
+}
+
+// Applied returns the total log entries applied across shards.
+func (m *ServerMetrics) Applied() uint64 { return m.applied.Load() }
+
+// LatencySummary snapshots the submit→apply latency distribution.
+func (m *ServerMetrics) LatencySummary() metrics.Summary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.latency.Snapshot()
+}
+
+// snapshot is the JSON shape /metrics serves.
+type metricsSnapshot struct {
+	UptimeSec float64           `json:"uptime_sec"`
+	Requests  uint64            `json:"requests"`
+	Applied   uint64            `json:"applied"`
+	NotLeader uint64            `json:"not_leader"`
+	BadReq    uint64            `json:"bad_requests"`
+	Commits   map[string]uint64 `json:"commits_per_shard"`
+	Latency   metrics.Summary   `json:"latency_us"`
+	Transport TransportStats    `json:"transport"`
+}
+
+func (m *ServerMetrics) snapshot(tr *Transport) metricsSnapshot {
+	m.mu.Lock()
+	commits := make(map[string]uint64)
+	for _, name := range m.commits.Names() {
+		commits[name] = m.commits.Get(name)
+	}
+	lat := m.latency.Snapshot()
+	m.mu.Unlock()
+	return metricsSnapshot{
+		UptimeSec: time.Since(m.started).Seconds(),
+		Requests:  m.requests.Load(),
+		Applied:   m.applied.Load(),
+		NotLeader: m.notLeader.Load(),
+		BadReq:    m.badReq.Load(),
+		Commits:   commits,
+		Latency:   lat,
+		Transport: tr.Stats(),
+	}
+}
+
+// MetricsHandler serves the server's counters as JSON on GET /metrics
+// (and a trivial liveness check on /healthz).
+func (s *Server) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.met.snapshot(s.tr))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// ServeMetrics starts an HTTP metrics endpoint on addr (host:port;
+// port 0 picks one) and returns the bound address. The endpoint stops
+// when the server closes.
+func (s *Server) ServeMetrics(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.MetricsHandler()}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("live: server closed")
+	}
+	s.http = append(s.http, srv)
+	s.mu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

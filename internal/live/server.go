@@ -1,0 +1,391 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"fortyconsensus/internal/det"
+	"fortyconsensus/internal/kvstore"
+	"fortyconsensus/internal/multipaxos"
+	"fortyconsensus/internal/raft"
+	"fortyconsensus/internal/shard"
+	"fortyconsensus/internal/smr"
+	"fortyconsensus/internal/types"
+)
+
+// Backends the live runtime can host per shard group.
+const (
+	BackendRaft       = "raft"
+	BackendMultiPaxos = "multipaxos"
+)
+
+// ServerConfig sizes one cluster node.
+type ServerConfig struct {
+	// Self is this node's ID; Addrs maps every node (including Self)
+	// to its TCP address. Node i of every shard group lives on server i.
+	Self  types.NodeID
+	Addrs map[types.NodeID]string
+
+	// Shards is the number of consensus groups (default 2); every
+	// server hosts one replica of each.
+	Shards int
+	// Backend is raft or multipaxos (default raft).
+	Backend string
+	// TickEvery is the wall-clock length of one protocol tick
+	// (default 2ms); protocol timeouts scale with it.
+	TickEvery time.Duration
+	// Seed seeds the modules' private RNGs (election jitter).
+	Seed uint64
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Shards < 1 {
+		c.Shards = 2
+	}
+	if c.Backend == "" {
+		c.Backend = BackendRaft
+	}
+	if c.TickEvery <= 0 {
+		c.TickEvery = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Server is one live cluster node: a transport, one hosted module per
+// shard group (each on its own event-loop goroutine), and the client
+// request path routing operations to the owning group by key hash.
+type Server struct {
+	cfg ServerConfig
+	pm  shard.PartitionMap
+	tr  *Transport
+	grs []hostedGroup
+	met *ServerMetrics
+
+	mu     sync.Mutex
+	closed bool
+	http   []*http.Server
+}
+
+// hostedGroup erases the message-type parameter so the server can mix
+// backends behind one slice.
+type hostedGroup interface {
+	start()
+	close()
+	deliver(payload []byte)
+	submit(cc *ClientConn, req Request)
+	leaderInfo() (isLeader bool, leader types.NodeID, ok bool)
+	inspect(fn func(st *shard.Store)) bool
+}
+
+// NewServer builds a node and binds its listener.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	addr, ok := cfg.Addrs[cfg.Self]
+	if !ok {
+		return nil, fmt.Errorf("live: no address for self %v", cfg.Self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	return NewServerOn(ln, cfg)
+}
+
+// NewServerOn is NewServer over a pre-bound listener (see Listen).
+func NewServerOn(ln net.Listener, cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("live: empty address map")
+	}
+	s := &Server{
+		cfg: cfg,
+		pm:  shard.NewPartitionMap(cfg.Shards),
+		met: newServerMetrics(),
+	}
+	s.tr = NewTransport(ln, TransportConfig{
+		Self:        cfg.Self,
+		Addrs:       cfg.Addrs,
+		OnPeerFrame: s.onPeerFrame,
+		OnClient:    s.serveClient,
+	})
+	peers := det.SortedKeys(cfg.Addrs)
+	for i := 0; i < cfg.Shards; i++ {
+		g, err := newGroup(s, i, peers)
+		if err != nil {
+			return nil, err
+		}
+		s.grs = append(s.grs, g)
+	}
+	return s, nil
+}
+
+// newGroup builds the hosted module for one shard group.
+func newGroup(s *Server, idx int, peers []types.NodeID) (hostedGroup, error) {
+	seed := mixSeed(s.cfg.Seed, uint64(idx))
+	switch s.cfg.Backend {
+	case BackendRaft:
+		mod := raft.New(s.cfg.Self, raft.Config{Peers: peers, Seed: seed})
+		return newSMRGroup[raft.Message](s, idx, mod, RaftCodec{}, raft.Dest), nil
+	case BackendMultiPaxos:
+		mod := multipaxos.New(s.cfg.Self, multipaxos.Config{Peers: peers, Seed: seed})
+		return newSMRGroup[multipaxos.Message](s, idx, mod, MultiPaxosCodec{}, multipaxos.Dest), nil
+	default:
+		return nil, fmt.Errorf("live: unknown backend %q", s.cfg.Backend)
+	}
+}
+
+// mixSeed derives a per-shard seed (splitmix64 finalizer), matching
+// internal/shard's derivation so seeded behavior lines up.
+func mixSeed(seed, i uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Start launches the transport and every group's event loop.
+func (s *Server) Start() {
+	s.tr.Start()
+	for _, g := range s.grs {
+		g.start()
+	}
+}
+
+// Addr returns the node's listening address.
+func (s *Server) Addr() string { return s.tr.Addr() }
+
+// Shards returns the shard-group count.
+func (s *Server) Shards() int { return s.cfg.Shards }
+
+// Metrics returns the server's live counters.
+func (s *Server) Metrics() *ServerMetrics { return s.met }
+
+// TransportStats snapshots the wire counters.
+func (s *Server) TransportStats() TransportStats { return s.tr.Stats() }
+
+// Leader reports shard sh's leadership as seen by this node:
+// (thisNodeLeads, believedLeader). ok is false if the group's loop has
+// stopped or sh is out of range.
+func (s *Server) Leader(sh int) (isLeader bool, leader types.NodeID, ok bool) {
+	if sh < 0 || sh >= len(s.grs) {
+		return false, -1, false
+	}
+	return s.grs[sh].leaderInfo()
+}
+
+// InspectStore runs fn against shard sh's state machine on the
+// group's event loop — the legal way to read replicated state.
+func (s *Server) InspectStore(sh int, fn func(st *shard.Store)) bool {
+	if sh < 0 || sh >= len(s.grs) {
+		return false
+	}
+	return s.grs[sh].inspect(fn)
+}
+
+// SnapshotKV returns shard sh's committed KV snapshot bytes.
+func (s *Server) SnapshotKV(sh int) ([]byte, bool) {
+	var snap []byte
+	ok := s.InspectStore(sh, func(st *shard.Store) { snap = st.KV().Snapshot() })
+	return snap, ok
+}
+
+// onPeerFrame routes one inter-node frame to its shard group:
+// payload = u32 group index | module message bytes.
+func (s *Server) onPeerFrame(from types.NodeID, payload []byte) {
+	if len(payload) < 4 {
+		return
+	}
+	idx := int(uint32(payload[0])<<24 | uint32(payload[1])<<16 | uint32(payload[2])<<8 | uint32(payload[3]))
+	if idx < 0 || idx >= len(s.grs) {
+		return
+	}
+	s.grs[idx].deliver(payload[4:])
+}
+
+// serveClient runs one client connection's request loop.
+func (s *Server) serveClient(cc *ClientConn) {
+	for {
+		req, err := cc.ReadRequest()
+		if err != nil {
+			return
+		}
+		s.met.requests.Add(1)
+		cmd, derr := kvstore.Decode(req.Op)
+		if derr != nil || req.SeqNo == 0 {
+			s.met.badReq.Add(1)
+			cc.Send(Response{ReqID: req.ReqID, Status: StatusBadRequest, Leader: -1,
+				Result: types.Value("undecodable command")})
+			continue
+		}
+		g := s.grs[s.pm.Shard(cmd.Key)]
+		g.submit(cc, req)
+	}
+}
+
+// Close shuts the node down: metrics endpoints, then the transport
+// (no new requests, peer IO stops), then every group loop. Safe to
+// call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	https := s.http
+	s.http = nil
+	s.mu.Unlock()
+	for _, h := range https {
+		h.Close()
+	}
+	s.tr.Close()
+	for _, g := range s.grs {
+		g.close()
+	}
+}
+
+// --- the generic hosted group ---
+
+// SMRModule is the surface a hostable consensus module must offer:
+// the runner contract plus submission, leadership, and the decision
+// stream. raft.Node and multipaxos.Node both satisfy it unchanged.
+type SMRModule[M any] interface {
+	Module[M]
+	Submit(types.Value)
+	IsLeader() bool
+	Leader() types.NodeID
+	TakeDecisions() []types.Decision
+}
+
+// sessKey identifies one client request for reply routing.
+type sessKey struct {
+	client types.ClientID
+	seqno  uint64
+}
+
+// pendingReq is one accepted submission awaiting its committed reply.
+type pendingReq struct {
+	cc    *ClientConn
+	reqID uint64
+	start time.Time
+}
+
+// smrGroup hosts one shard group's module: the live.Node event loop,
+// the wire codec, the smr executor applying shard.Store, and the
+// pending-reply table. Everything below node is touched only on the
+// loop goroutine.
+type smrGroup[M any] struct {
+	srv   *Server
+	idx   int
+	mod   SMRModule[M]
+	codec Codec[M]
+	dest  func(M) types.NodeID
+	node  *Node[M]
+	exec  *smr.Executor
+	store *shard.Store
+
+	pending map[sessKey]*pendingReq
+}
+
+func newSMRGroup[M any](s *Server, idx int, mod SMRModule[M], codec Codec[M], dest func(M) types.NodeID) *smrGroup[M] {
+	g := &smrGroup[M]{
+		srv: s, idx: idx, mod: mod, codec: codec, dest: dest,
+		store:   shard.NewStore(),
+		pending: make(map[sessKey]*pendingReq),
+	}
+	g.exec = smr.NewExecutor(s.cfg.Self, g.store)
+	g.node = NewNode[M](mod, s.cfg.Self, dest, g.send, g.pumpDecisions, NodeConfig{
+		TickEvery: s.cfg.TickEvery,
+	})
+	return g
+}
+
+// send encodes one outbound module message and hands it to the
+// transport, prefixed with the group index.
+func (g *smrGroup[M]) send(m M) {
+	frame := make([]byte, 4, 64)
+	idx := uint32(g.idx)
+	frame[0], frame[1], frame[2], frame[3] = byte(idx>>24), byte(idx>>16), byte(idx>>8), byte(idx)
+	frame = g.codec.Append(frame, m)
+	g.srv.tr.Send(g.dest(m), frame)
+}
+
+// deliver decodes one inbound module message and enqueues it.
+func (g *smrGroup[M]) deliver(payload []byte) {
+	m, err := g.codec.Decode(payload)
+	if err != nil {
+		return
+	}
+	g.node.Deliver(m)
+}
+
+// submit runs the leadership check and submission on the loop.
+func (g *smrGroup[M]) submit(cc *ClientConn, req Request) {
+	ok := g.node.Call(func() {
+		if !g.mod.IsLeader() {
+			g.srv.met.notLeader.Add(1)
+			cc.Send(Response{ReqID: req.ReqID, Status: StatusNotLeader, Leader: int64(g.mod.Leader())})
+			return
+		}
+		g.prunePending()
+		g.pending[sessKey{req.Client, req.SeqNo}] = &pendingReq{
+			cc: cc, reqID: req.ReqID, start: time.Now(),
+		}
+		g.mod.Submit(smr.EncodeRequest(types.Request{
+			Client: req.Client, SeqNo: req.SeqNo, Op: req.Op,
+		}))
+	})
+	if !ok {
+		cc.Send(Response{ReqID: req.ReqID, Status: StatusUnavailable, Leader: -1})
+	}
+}
+
+// prunePending bounds the reply table: entries whose client gave up
+// (or whose submission lost leadership and never committed) age out.
+func (g *smrGroup[M]) prunePending() {
+	if len(g.pending) < 4096 {
+		return
+	}
+	cutoff := time.Now().Add(-10 * time.Second)
+	//lint:allow maporder expiry sweep; which stale entry dies first is unobservable
+	for k, p := range g.pending {
+		if p.start.Before(cutoff) {
+			delete(g.pending, k)
+		}
+	}
+}
+
+// pumpDecisions applies newly committed slots and answers their
+// waiting clients. Runs on the loop goroutine after every event.
+func (g *smrGroup[M]) pumpDecisions() {
+	for _, d := range g.mod.TakeDecisions() {
+		for _, r := range g.exec.Commit(d) {
+			g.srv.met.applied.Add(1)
+			p, ok := g.pending[sessKey{r.Client, r.SeqNo}]
+			if !ok {
+				continue
+			}
+			delete(g.pending, sessKey{r.Client, r.SeqNo})
+			g.srv.met.observeCommit(g.idx, time.Since(p.start))
+			p.cc.Send(Response{ReqID: p.reqID, Status: StatusOK, Leader: int64(g.srv.cfg.Self), Result: r.Result})
+		}
+	}
+}
+
+func (g *smrGroup[M]) start() { g.node.Start() }
+func (g *smrGroup[M]) close() { g.node.Close() }
+
+func (g *smrGroup[M]) leaderInfo() (bool, types.NodeID, bool) {
+	var isLead bool
+	var lead types.NodeID
+	ok := g.node.CallWait(func() { isLead, lead = g.mod.IsLeader(), g.mod.Leader() })
+	return isLead, lead, ok
+}
+
+func (g *smrGroup[M]) inspect(fn func(st *shard.Store)) bool {
+	return g.node.CallWait(func() { fn(g.store) })
+}

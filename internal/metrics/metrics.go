@@ -96,6 +96,32 @@ func (h *Histogram) Summary() string {
 	return fmt.Sprintf("%.1f/%d/%d (n=%d)", h.Mean(), h.Percentile(50), h.Percentile(99), h.Count())
 }
 
+// Summary is a one-shot snapshot of a histogram's order statistics —
+// the machine-readable sibling of the Summary string, shared by the
+// live runtime's metrics endpoint and the load generator's report.
+type Summary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   int     `json:"min"`
+	P50   int     `json:"p50"`
+	P90   int     `json:"p90"`
+	P99   int     `json:"p99"`
+	Max   int     `json:"max"`
+}
+
+// Snapshot computes the histogram's summary statistics.
+func (h *Histogram) Snapshot() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+		Max:   h.Max(),
+	}
+}
+
 // Table renders aligned experiment tables. Columns are fixed at
 // construction; rows are appended as formatted cells.
 type Table struct {

@@ -5,6 +5,25 @@ import (
 	"testing"
 )
 
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram()
+	if s := h.Snapshot(); s != (Summary{}) {
+		t.Fatalf("empty snapshot = %+v, want zero", s)
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(i)
+	}
+	s := h.Snapshot()
+	want := Summary{Count: 100, Mean: 50.5, Min: 1, P50: 50, P90: 90, P99: 99, Max: 100}
+	if s != want {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+	// The snapshot must agree with the individual accessors.
+	if s.P50 != h.Percentile(50) || s.P99 != h.Percentile(99) || s.Mean != h.Mean() {
+		t.Fatal("snapshot disagrees with accessors")
+	}
+}
+
 func TestHistogramStats(t *testing.T) {
 	h := NewHistogram()
 	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
