@@ -6,7 +6,7 @@ GO ?= go
 # proportionate. explore's campaign worker pool and the shard stack it
 # drives joined the list when campaigns went parallel; live is the
 # real-time runtime (TCP transport, per-module event loops, client).
-RACE_PKGS := ./internal/runner ./internal/simnet ./internal/experiments ./internal/explore ./internal/shard/... ./internal/live
+RACE_PKGS := ./internal/runner ./internal/simnet ./internal/experiments ./internal/explore ./internal/shard/... ./internal/live ./internal/snapshot
 
 # The sharded-KV stack gated explicitly in ci: the cross-shard 2PC
 # tests and the explore campaign regression are this repo's tier-1
@@ -45,9 +45,14 @@ test-race:
 # fixed seed window, the default crash-model fault mix. Episodes fan
 # out across GOMAXPROCS workers (-workers 0) with bit-identical
 # results, which is what pays for the doubled seed window. Exit 1
-# means an invariant was violated and a reproducer was printed.
+# means an invariant was violated and a reproducer was printed. The
+# second sweep turns on membership churn (rmnode) against raft-member,
+# whose compaction-bound, snapshot-install, and config-safety
+# invariants gate every remove → compact → re-add → InstallSnapshot
+# pipeline the generator finds.
 explore:
 	$(GO) run ./cmd/consensus-explore -protocol all -seeds 48 -faults 4 -workers 0
+	$(GO) run ./cmd/consensus-explore -protocol raft-member -seeds 24 -faults 3 -workers 0 -classes rmnode,crash,partition
 
 # Full gate: everything CI runs, in order. The golden step verifies the
 # pinned experiment artifacts byte-for-byte (no -update), and the shard
@@ -79,11 +84,11 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ $(BENCH_PKGS)
 
 # Machine-readable benchmark record: same sweep as `make bench`,
-# rendered to BENCH_8.json (ns/op, B/op, allocs/op per benchmark) for
+# rendered to BENCH_10.json (ns/op, B/op, allocs/op per benchmark) for
 # mechanical before/after comparison across PRs.
 bench-json:
 	$(GO) test -bench=. -benchmem -run=^$$ $(BENCH_PKGS) > bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_8.json < bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_10.json < bench.out
 	@rm -f bench.out
 
 # Re-record the experiment golden artifacts after an intentional

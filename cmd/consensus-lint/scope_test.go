@@ -29,6 +29,7 @@ var protocolPackages = []string{
 	"internal/seemore",
 	"internal/shard",
 	"internal/smr",
+	"internal/snapshot",
 	"internal/trustedhw",
 	"internal/types",
 	"internal/upright",

@@ -34,6 +34,8 @@ func main() {
 		tick    = flag.Duration("tick", 2*time.Millisecond, "wall-clock length of one protocol tick")
 		metrics = flag.String("metrics", "", "HTTP metrics address (empty = disabled)")
 		seed    = flag.Uint64("seed", 1, "protocol RNG seed (election jitter)")
+		join    = flag.Bool("join", false, "start passive as a fresh joiner; vote it in with consensus-admin add-node")
+		every   = flag.Int("snapshot-every", 0, "compact each group's log every N applied slots (0 = never)")
 	)
 	flag.Parse()
 
@@ -52,12 +54,14 @@ func main() {
 	}
 
 	srv, err := live.NewServer(live.ServerConfig{
-		Self:      types.NodeID(*id),
-		Addrs:     addrs,
-		Shards:    *shards,
-		Backend:   *backend,
-		TickEvery: *tick,
-		Seed:      *seed,
+		Self:          types.NodeID(*id),
+		Addrs:         addrs,
+		Shards:        *shards,
+		Backend:       *backend,
+		TickEvery:     *tick,
+		Seed:          *seed,
+		Join:          *join,
+		SnapshotEvery: *every,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "consensus-serve: %v\n", err)

@@ -109,6 +109,15 @@ func (t *LogTracker) Observe(node int, ds []types.Decision) {
 	}
 }
 
+// Reset forgets node's local commit cursor (not the canonical log):
+// a member replaced by a fresh, stateless instance legitimately
+// re-commits from the start, and every re-committed slot is still
+// checked against the canonical value.
+func (t *LogTracker) Reset(node int) {
+	t.lastSlot[node] = 0
+	t.count[node] = 0
+}
+
 // Violation returns the latched violation, nil while all checks hold.
 func (t *LogTracker) Violation() *Violation { return t.violation }
 

@@ -23,6 +23,7 @@ import (
 func init() {
 	Register(Protocol{Name: "paxos", Nodes: 5, MinNodes: 3, Horizon: 400, New: newPaxosEpisode})
 	Register(Protocol{Name: "raft", Nodes: 5, MinNodes: 3, Horizon: 600, New: newRaftEpisode})
+	Register(Protocol{Name: "raft-member", Nodes: 5, MinNodes: 3, Horizon: 600, New: newRaftMemberEpisode})
 	Register(Protocol{Name: "multipaxos", Nodes: 5, MinNodes: 3, Horizon: 600, New: newMultiPaxosEpisode})
 	Register(Protocol{Name: "flexpaxos", Nodes: 5, MinNodes: 3, Horizon: 600, New: newFlexPaxosEpisode})
 	Register(Protocol{Name: "pbft", Nodes: 4, MinNodes: 4, Horizon: 400, New: newPBFTEpisode})

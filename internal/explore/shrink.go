@@ -176,7 +176,7 @@ func restrictToNodes(s nemesis.Schedule, n int) (nemesis.Schedule, bool) {
 	var out nemesis.Schedule
 	for _, e := range s.Events {
 		switch e.Op.Initiator() {
-		case nemesis.OpCrash, nemesis.OpByzantine:
+		case nemesis.OpCrash, nemesis.OpByzantine, nemesis.OpRemoveNode:
 			if !keep(e.Node) {
 				dropKeys[e.Key()] = true
 				continue

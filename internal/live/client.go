@@ -232,6 +232,19 @@ func (c *Client) dropLeader(sh, node int) {
 	c.mu.Unlock()
 }
 
+// dropLeaderNode forgets every shard's guess pointing at node — called
+// when node's connection dies, so shards that never got to observe a
+// failed request don't walk into a dead leader on their next operation.
+func (c *Client) dropLeaderNode(node int) {
+	c.mu.Lock()
+	for sh := range c.leader {
+		if c.leader[sh] == node {
+			c.leader[sh] = -1
+		}
+	}
+	c.mu.Unlock()
+}
+
 // attempt sends req to one node and waits for its response.
 func (c *Client) attempt(node int, req Request) (Response, error) {
 	cn, err := c.conn(node)
@@ -279,6 +292,9 @@ func (c *Client) conn(node int) (*cconn, error) {
 		return nil, err
 	}
 	cn := newCConn(conn, c.cfg.MaxFrame)
+	// Any connection death invalidates every leader guess at this node;
+	// a losing dial racer triggers it too, which only costs a re-probe.
+	cn.onDead = func() { c.dropLeaderNode(node) }
 	if err := cn.write(encodeHello(helloClient, int64(c.cfg.SessionBase))); err != nil {
 		cn.fail(err)
 		return nil, err
@@ -312,6 +328,10 @@ type cconn struct {
 
 	wmu sync.Mutex // serializes frame writes
 	bw  *bufio.Writer
+
+	// onDead, if set before the first write, runs once when the
+	// connection dies (leader-cache invalidation).
+	onDead func()
 
 	mu      sync.Mutex
 	pending map[uint64]chan Response
@@ -399,6 +419,9 @@ func (cn *cconn) fail(_ error) {
 	cn.pending = nil
 	cn.mu.Unlock()
 	cn.conn.Close()
+	if cn.onDead != nil {
+		cn.onDead()
+	}
 	//lint:allow maporder failure wakeup; waiters are independent and order-insensitive
 	for _, ch := range pending {
 		close(ch)

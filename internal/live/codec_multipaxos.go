@@ -51,7 +51,7 @@ func (MultiPaxosCodec) Decode(b []byte) (multipaxos.Message, error) {
 			m.Entries[i].Val = r.value()
 		}
 	}
-	if !r.done() || m.Kind < multipaxos.MsgPrepare || m.Kind > multipaxos.MsgCatchup {
+	if !r.done() || m.Kind < multipaxos.MsgPrepare || m.Kind > multipaxos.MsgState {
 		return multipaxos.Message{}, ErrCodec
 	}
 	return m, nil

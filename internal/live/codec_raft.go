@@ -25,6 +25,8 @@ func (RaftCodec) Append(dst []byte, m raft.Message) []byte {
 	dst = appendU8(dst, b2u(m.Success))
 	dst = appendU64(dst, uint64(m.MatchIndex))
 	dst = appendValue(dst, m.Val)
+	dst = appendU32(dst, m.Offset)
+	dst = appendU8(dst, b2u(m.Done))
 	dst = appendU32(dst, uint32(len(m.Entries)))
 	for _, e := range m.Entries {
 		dst = appendU64(dst, uint64(e.Term))
@@ -50,6 +52,8 @@ func (RaftCodec) Decode(b []byte) (raft.Message, error) {
 	m.Success = r.u8() != 0
 	m.MatchIndex = types.Seq(r.u64())
 	m.Val = r.value()
+	m.Offset = r.u32()
+	m.Done = r.u8() != 0
 	n := r.count(12) // 8-byte term + 4-byte value length minimum
 	if n > 0 {
 		m.Entries = make([]raft.LogEntry, n)
@@ -58,7 +62,7 @@ func (RaftCodec) Decode(b []byte) (raft.Message, error) {
 			m.Entries[i].Val = r.value()
 		}
 	}
-	if !r.done() || m.Kind < raft.MsgRequestVote || m.Kind > raft.MsgForward {
+	if !r.done() || m.Kind < raft.MsgRequestVote || m.Kind > raft.MsgSnapResp {
 		return raft.Message{}, ErrCodec
 	}
 	return m, nil

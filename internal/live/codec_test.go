@@ -24,6 +24,13 @@ func raftMessages() []raft.Message {
 		},
 		{Kind: raft.MsgAppendResp, From: 4, To: 0, Term: 9, Success: true, MatchIndex: 13},
 		{Kind: raft.MsgForward, From: 3, To: 0, Val: types.Value("forwarded op")},
+		{
+			Kind: raft.MsgSnap, From: 0, To: 4, Term: 9,
+			PrevIndex: 20, PrevTerm: 8, LeaderCommit: 25,
+			Val: types.Value("snapshot chunk bytes"), Offset: 4096, Done: true,
+		},
+		{Kind: raft.MsgSnapResp, From: 4, To: 0, Term: 9, Success: true, Offset: 8192},
+		{Kind: raft.MsgSnapResp, From: 4, To: 0, Term: 9, Success: true, Done: true, MatchIndex: 20},
 	}
 }
 
@@ -39,6 +46,7 @@ func paxosMessages() []multipaxos.Message {
 		},
 		{Kind: multipaxos.MsgAccept, From: 1, To: 0, Ballot: types.Ballot{Num: 3, Owner: 1}, Slot: 7, Val: types.Value("v")},
 		{Kind: multipaxos.MsgCatchup, From: 0, To: 1, Commit: 11},
+		{Kind: multipaxos.MsgState, From: 1, To: 0, Val: types.Value("encoded snapshot"), Commit: 40},
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fortyconsensus/internal/raft"
 	"fortyconsensus/internal/shard"
 	"fortyconsensus/internal/smr"
+	"fortyconsensus/internal/snapshot"
 	"fortyconsensus/internal/types"
 )
 
@@ -40,6 +41,16 @@ type ServerConfig struct {
 	TickEvery time.Duration
 	// Seed seeds the modules' private RNGs (election jitter).
 	Seed uint64
+	// Join starts every hosted module passive: the node is a fresh
+	// joiner that must not campaign until a leader contacts it. Pair
+	// with consensus-admin add-node to vote it into the cluster; it
+	// catches up through a snapshot transfer once admitted.
+	Join bool
+	// SnapshotEvery compacts each group's log every N applied slots,
+	// folding the executor + store state into a snapshot (0 = never).
+	// Lagging or joining peers below the compaction point are caught up
+	// by snapshot transfer instead of entry replay.
+	SnapshotEvery int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -79,6 +90,8 @@ type hostedGroup interface {
 	submit(cc *ClientConn, req Request)
 	leaderInfo() (isLeader bool, leader types.NodeID, ok bool)
 	inspect(fn func(st *shard.Store)) bool
+	status() (GroupStatus, bool)
+	submitConf(cc snapshot.ConfChange) bool
 }
 
 // NewServer builds a node and binds its listener.
@@ -128,10 +141,10 @@ func newGroup(s *Server, idx int, peers []types.NodeID) (hostedGroup, error) {
 	seed := mixSeed(s.cfg.Seed, uint64(idx))
 	switch s.cfg.Backend {
 	case BackendRaft:
-		mod := raft.New(s.cfg.Self, raft.Config{Peers: peers, Seed: seed})
+		mod := raft.New(s.cfg.Self, raft.Config{Peers: peers, Seed: seed, Passive: s.cfg.Join})
 		return newSMRGroup[raft.Message](s, idx, mod, RaftCodec{}, raft.Dest), nil
 	case BackendMultiPaxos:
-		mod := multipaxos.New(s.cfg.Self, multipaxos.Config{Peers: peers, Seed: seed})
+		mod := multipaxos.New(s.cfg.Self, multipaxos.Config{Peers: peers, Seed: seed, Passive: s.cfg.Join})
 		return newSMRGroup[multipaxos.Message](s, idx, mod, MultiPaxosCodec{}, multipaxos.Dest), nil
 	default:
 		return nil, fmt.Errorf("live: unknown backend %q", s.cfg.Backend)
@@ -214,6 +227,10 @@ func (s *Server) serveClient(cc *ClientConn) {
 			return
 		}
 		s.met.requests.Add(1)
+		if len(req.Op) > 0 && req.Op[0] >= OpAdminStatus && req.Op[0] <= opAdminMax {
+			s.handleAdmin(cc, req)
+			continue
+		}
 		cmd, derr := kvstore.Decode(req.Op)
 		if derr != nil || req.SeqNo == 0 {
 			s.met.badReq.Add(1)
@@ -288,7 +305,22 @@ type smrGroup[M any] struct {
 	exec  *smr.Executor
 	store *shard.Store
 
+	// comp is the module's compaction surface (nil if unsupported).
+	// lastCompact and installs are loop-goroutine state like exec.
+	comp        compactor
+	lastCompact types.Seq
+	installs    int
+
 	pending map[sessKey]*pendingReq
+}
+
+// compactor is the optional module surface the group needs for log
+// compaction and snapshot catch-up; raft.Node and multipaxos.Node both
+// provide it.
+type compactor interface {
+	Compact(upTo types.Seq, state []byte) bool
+	TakeInstalledSnapshot() *snapshot.Snapshot
+	Members() []types.NodeID
 }
 
 func newSMRGroup[M any](s *Server, idx int, mod SMRModule[M], codec Codec[M], dest func(M) types.NodeID) *smrGroup[M] {
@@ -296,6 +328,9 @@ func newSMRGroup[M any](s *Server, idx int, mod SMRModule[M], codec Codec[M], de
 		srv: s, idx: idx, mod: mod, codec: codec, dest: dest,
 		store:   shard.NewStore(),
 		pending: make(map[sessKey]*pendingReq),
+	}
+	if c, ok := any(mod).(compactor); ok {
+		g.comp = c
 	}
 	g.exec = smr.NewExecutor(s.cfg.Self, g.store)
 	g.node = NewNode[M](mod, s.cfg.Self, dest, g.send, g.pumpDecisions, NodeConfig{
@@ -359,9 +394,21 @@ func (g *smrGroup[M]) prunePending() {
 	}
 }
 
-// pumpDecisions applies newly committed slots and answers their
-// waiting clients. Runs on the loop goroutine after every event.
+// pumpDecisions restores any freshly installed snapshot, applies newly
+// committed slots, answers their waiting clients, and compacts on
+// cadence. Runs on the loop goroutine after every event.
 func (g *smrGroup[M]) pumpDecisions() {
+	if g.comp != nil {
+		if snap := g.comp.TakeInstalledSnapshot(); snap != nil {
+			// The peer that compacted built State with the same executor
+			// codec (SnapshotState); a failed restore means a corrupt
+			// transfer and is dropped — the module retries the install.
+			if err := g.exec.RestoreState(snap.State); err == nil {
+				g.installs++
+				g.lastCompact = snap.LastIndex
+			}
+		}
+	}
 	for _, d := range g.mod.TakeDecisions() {
 		for _, r := range g.exec.Commit(d) {
 			g.srv.met.applied.Add(1)
@@ -373,6 +420,25 @@ func (g *smrGroup[M]) pumpDecisions() {
 			g.srv.met.observeCommit(g.idx, time.Since(p.start))
 			p.cc.Send(Response{ReqID: p.reqID, Status: StatusOK, Leader: int64(g.srv.cfg.Self), Result: r.Result})
 		}
+	}
+	g.maybeCompact()
+}
+
+// maybeCompact folds the applied prefix into a snapshot once the apply
+// frontier has outrun the last compaction by SnapshotEvery slots. The
+// module may refuse (e.g. a pending reconfiguration epoch); the next
+// pump simply retries.
+func (g *smrGroup[M]) maybeCompact() {
+	every := g.srv.cfg.SnapshotEvery
+	if g.comp == nil || every <= 0 {
+		return
+	}
+	upTo := g.exec.NextSlot() - 1
+	if upTo < g.lastCompact+types.Seq(every) {
+		return
+	}
+	if g.comp.Compact(upTo, g.exec.SnapshotState()) {
+		g.lastCompact = upTo
 	}
 }
 
@@ -388,4 +454,45 @@ func (g *smrGroup[M]) leaderInfo() (bool, types.NodeID, bool) {
 
 func (g *smrGroup[M]) inspect(fn func(st *shard.Store)) bool {
 	return g.node.CallWait(func() { fn(g.store) })
+}
+
+// status snapshots the group's replication state on the loop goroutine.
+func (g *smrGroup[M]) status() (GroupStatus, bool) {
+	var st GroupStatus
+	ok := g.node.CallWait(func() {
+		st = GroupStatus{
+			Shard:    g.idx,
+			IsLeader: g.mod.IsLeader(),
+			Leader:   int64(g.mod.Leader()),
+			Commit:   uint64(g.exec.NextSlot() - 1),
+			Installs: g.installs,
+			Digest:   kvDigest(g.store.KV().Snapshot()),
+		}
+		if g.comp != nil {
+			for _, m := range g.comp.Members() {
+				st.Members = append(st.Members, int64(m))
+			}
+		}
+		switch mod := any(g.mod).(type) {
+		case interface{ SnapshotIndex() types.Seq }: // raft
+			st.SnapIndex = uint64(mod.SnapshotIndex())
+		case interface{ CompactFrontier() types.Seq }: // multipaxos
+			st.SnapIndex = uint64(mod.CompactFrontier())
+		}
+	})
+	return st, ok
+}
+
+// submitConf submits a membership change if this node leads the group,
+// reporting whether it was submitted. Commitment is asynchronous; the
+// caller polls status until the member set reflects the change.
+func (g *smrGroup[M]) submitConf(cc snapshot.ConfChange) bool {
+	submitted := false
+	g.node.CallWait(func() {
+		if g.mod.IsLeader() {
+			g.mod.Submit(snapshot.EncodeConfChange(cc))
+			submitted = true
+		}
+	})
+	return submitted
 }

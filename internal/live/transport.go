@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/types"
 )
 
@@ -88,14 +89,37 @@ type Transport struct {
 	sent, dropped, reconnects, peerFrames atomic.Uint64
 }
 
-// NewTransport wraps a pre-created listener (see Listen).
+// NewTransport wraps a pre-created listener (see Listen). The address
+// map is cloned: AddPeer grows the transport's copy without mutating
+// the caller's.
 func NewTransport(ln net.Listener, cfg TransportConfig) *Transport {
+	cfg = cfg.withDefaults()
+	addrs := make(map[types.NodeID]string, len(cfg.Addrs))
+	for _, id := range det.SortedKeys(cfg.Addrs) {
+		addrs[id] = cfg.Addrs[id]
+	}
+	cfg.Addrs = addrs
 	return &Transport{
-		cfg:   cfg.withDefaults(),
+		cfg:   cfg,
 		ln:    ln,
 		peers: make(map[types.NodeID]*peer),
 		conns: make(map[net.Conn]*ClientConn),
 		stop:  make(chan struct{}),
+	}
+}
+
+// AddPeer registers a peer address discovered after construction, so a
+// node that joined a running cluster becomes reachable. First write
+// wins: an id with a known address keeps it (its writer goroutine owns
+// a snapshot of the address, so silently repointing would split them).
+func (t *Transport) AddPeer(id types.NodeID, addr string) {
+	if addr == "" || id == t.cfg.Self {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, known := t.cfg.Addrs[id]; !known {
+		t.cfg.Addrs[id] = addr
 	}
 }
 

@@ -37,10 +37,20 @@ func NewCluster(n int, fabric *simnet.Fabric, cfg Config, newSM func() smr.State
 }
 
 // Pump drains every node's decisions into its executor and returns all
-// client replies produced this call. Call after Step/Run.
+// client replies produced this call. Call after Step/Run. A node that
+// installed a state-transfer snapshot has its executor restored from
+// the snapshot's application state before post-snapshot decisions
+// apply.
 func (c *Cluster) Pump() []types.Reply {
 	var replies []types.Reply
 	for i, n := range c.Nodes {
+		if c.Execs != nil {
+			if snap := n.TakeInstalledSnapshot(); snap != nil {
+				if err := c.Execs[i].RestoreState(snap.State); err != nil {
+					panic("multipaxos: harness snapshot restore: " + err.Error())
+				}
+			}
+		}
 		for _, d := range n.TakeDecisions() {
 			if c.Execs != nil {
 				replies = append(replies, c.Execs[i].Commit(d)...)

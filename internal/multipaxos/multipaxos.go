@@ -19,6 +19,7 @@ import (
 	"fortyconsensus/internal/det"
 	"fortyconsensus/internal/quorum"
 	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/snapshot"
 	"fortyconsensus/internal/types"
 )
 
@@ -56,6 +57,7 @@ const (
 	MsgHeartbeat
 	MsgForward // request forwarded to the leader
 	MsgCatchup // follower asks for committed slots it is missing
+	MsgState   // state transfer: snapshot replacing compacted slots
 )
 
 func (k MsgKind) String() string {
@@ -78,6 +80,8 @@ func (k MsgKind) String() string {
 		return "forward"
 	case MsgCatchup:
 		return "catchup"
+	case MsgState:
+		return "state-transfer"
 	}
 	return fmt.Sprintf("MsgKind(%d)", uint8(k))
 }
@@ -113,6 +117,9 @@ type Config struct {
 	// ElectionTimeoutTicks is the base follower timeout before running
 	// for leadership; each node adds seeded jitter. Default 30.
 	ElectionTimeoutTicks int
+	// Passive starts the node as a non-campaigning joiner until it first
+	// hears from a leader (see raft.Config.Passive for the rationale).
+	Passive bool
 	// Seed seeds the node's private RNG.
 	Seed uint64
 }
@@ -175,9 +182,24 @@ type Node struct {
 	queued     []types.Value // submissions waiting for leadership
 	elections  int           // leader elections started (metric)
 	hbCooldown int
+	// Highest commit frontier reported in this campaign's acks, and who
+	// reported it: a candidate behind it must catch up before leading
+	// (its quorum may have compacted the slots it is missing).
+	ackCommit types.Seq
+	ackFrom   types.NodeID
 
 	// Follower timers.
 	electionIn int
+	passive    bool
+
+	// Compaction: slots at or below compactSeq live only in snapData.
+	compactSeq types.Seq
+	snapData   []byte
+	installed  *snapshot.Snapshot
+
+	// Membership epochs, oldest first. A config chosen at slot i takes
+	// effect for slots >= i+Alpha; configs[0] is the bootstrap config.
+	configs []cfgEpoch
 
 	out []Message
 }
@@ -194,7 +216,11 @@ func New(id types.NodeID, cfg Config) *Node {
 		accepted: make(map[types.Seq]acceptedEntry),
 		chosen:   make(map[types.Seq]types.Value),
 		nextSlot: 1,
+		passive:  cfg.Passive,
 	}
+	boot := append([]types.NodeID(nil), cfg.Peers...)
+	sortNodeIDs(boot)
+	n.configs = []cfgEpoch{{from: 0, members: boot}}
 	n.resetElectionTimer()
 	return n
 }
@@ -208,8 +234,11 @@ func (n *Node) send(m Message) {
 	n.out = append(n.out, m)
 }
 
+// broadcast fans out to the newest epoch's members — including an epoch
+// not yet in force, so a just-admitted node starts receiving heartbeats
+// (and can catch up) before its activation slot arrives.
 func (n *Node) broadcast(m Message) {
-	for _, p := range n.cfg.Peers {
+	for _, p := range n.latestMembers() {
 		if p == n.id {
 			continue
 		}
@@ -256,9 +285,12 @@ func (n *Node) Submit(v types.Value) {
 
 // propose assigns the next free slot and runs phase 2 for it.
 func (n *Node) propose(v types.Value) {
+	if snapshot.IsConfChange(v) && !n.confAllowed(v) {
+		return // invalid or overlapping membership change: drop
+	}
 	slot := n.nextSlot
 	n.nextSlot++
-	st := &slotState{val: v, votes: quorum.NewTally(n.q.Threshold())}
+	st := &slotState{val: v, votes: quorum.NewTally(n.quorumFor(slot))}
 	n.inflight[slot] = st
 	// Self-accept locally (the leader is also an acceptor).
 	n.accepted[slot] = acceptedEntry{num: n.curBallot, val: v}
@@ -272,13 +304,14 @@ func (n *Node) campaign() {
 	n.role = candidate
 	n.ballot = n.ballot.Next(n.id)
 	n.curBallot = n.ballot
-	n.prepAcks = quorum.NewTally(n.q.Threshold())
+	n.prepAcks = quorum.NewTally(n.quorumFor(n.commitSeq + 1))
 	n.recovered = make(map[types.Seq]acceptedEntry)
 	// Merge own acceptor log.
 	for s, e := range n.accepted {
 		n.recovered[s] = e
 	}
 	n.prepAcks.Add(n.id)
+	n.ackCommit, n.ackFrom = n.commitSeq, n.id
 	n.resetElectionTimer()
 	n.broadcast(Message{Kind: MsgPrepare, Ballot: n.curBallot})
 }
@@ -315,6 +348,8 @@ func (n *Node) Step(m Message) {
 		}
 	case MsgCatchup:
 		n.onCatchup(m)
+	case MsgState:
+		n.onState(m)
 	}
 }
 
@@ -340,6 +375,9 @@ func (n *Node) becomeFollowerOf(lead types.NodeID) {
 	n.role = follower
 	n.lead = lead
 	n.inflight = nil
+	if lead >= 0 {
+		n.passive = false // heard from a live leader: full citizen now
+	}
 	n.resetElectionTimer()
 	// Submissions queued while leaderless now have somewhere to go.
 	if lead != n.id && lead >= 0 {
@@ -360,7 +398,17 @@ func (n *Node) onAck(m Message) {
 			n.recovered[e.Slot] = acceptedEntry{num: e.AcceptNum, val: e.Val}
 		}
 	}
+	if m.Commit > n.ackCommit {
+		n.ackCommit, n.ackFrom = m.Commit, m.From
+	}
 	if !n.prepAcks.Add(m.From) {
+		return
+	}
+	if n.ackCommit > n.commitSeq {
+		// An acker is committed past us and may have compacted the slots
+		// we are missing — leading now would no-op-fill chosen slots.
+		// Catch up from that acker and let the election timer retry.
+		n.send(Message{Kind: MsgCatchup, To: n.ackFrom, Slot: n.commitSeq + 1})
 		return
 	}
 	n.becomeLeader()
@@ -395,7 +443,7 @@ func (n *Node) becomeLeader() {
 	}
 	for s := n.commitSeq + 1; s < n.nextSlot; s++ {
 		e := n.recovered[s]
-		st := &slotState{val: e.val, votes: quorum.NewTally(n.q.Threshold())}
+		st := &slotState{val: e.val, votes: quorum.NewTally(n.quorumFor(s))}
 		n.inflight[s] = st
 		n.accepted[s] = acceptedEntry{num: n.curBallot, val: e.val}
 		st.votes.Add(n.id)
@@ -460,6 +508,13 @@ func (n *Node) learn(slot types.Seq, val types.Value) {
 		return
 	}
 	n.chosen[slot] = val
+	n.advanceFrontier()
+}
+
+// advanceFrontier emits decisions for the contiguous chosen prefix.
+// Split from learn so a snapshot install can resume through chosen
+// slots that arrived before the install filled the gap below them.
+func (n *Node) advanceFrontier() {
 	for {
 		v, ok := n.chosen[n.commitSeq+1]
 		if !ok {
@@ -467,6 +522,17 @@ func (n *Node) learn(slot types.Seq, val types.Value) {
 		}
 		n.commitSeq++
 		n.decisions = append(n.decisions, types.Decision{Slot: n.commitSeq, Val: v})
+		if snapshot.IsConfChange(v) {
+			// A config chosen at slot i governs slots >= i+Alpha. Every
+			// replica schedules the epoch at the same frontier advance, so
+			// the switch point is identical cluster-wide.
+			if cc, err := snapshot.DecodeConfChange(v); err == nil {
+				n.configs = append(n.configs, cfgEpoch{
+					from:    n.commitSeq + Alpha,
+					members: cc.Apply(n.latestMembers()),
+				})
+			}
+		}
 	}
 }
 
@@ -488,7 +554,12 @@ func (n *Node) onHeartbeat(m Message) {
 // onCatchup streams committed slots from the requested frontier to a
 // lagging follower, batched into one message.
 func (n *Node) onCatchup(m Message) {
-	if n.role != leader {
+	// Any replica may serve catch-up: chosen values and snapshots are
+	// final facts, so a follower answering a deferring candidate is safe.
+	if m.Slot <= n.compactSeq && n.snapData != nil {
+		// The requested slots were compacted away: state-transfer the
+		// snapshot instead. The follower asks again for anything above it.
+		n.send(Message{Kind: MsgState, To: m.From, Val: types.Value(n.snapData), Commit: n.commitSeq})
 		return
 	}
 	// Exact-capacity batch: the frontier bounds how many slots remain.
@@ -523,6 +594,11 @@ func (n *Node) Tick() {
 	case follower, candidate:
 		n.electionIn--
 		if n.electionIn <= 0 {
+			if n.passive || !n.isMember(n.id) {
+				// Joiners and removed nodes never campaign.
+				n.resetElectionTimer()
+				return
+			}
 			n.campaign()
 		}
 	}

@@ -37,6 +37,8 @@ type GenConfig struct {
 var DefaultClasses = []Op{OpCrash, OpPartition, OpCutLink, OpDelaySet}
 
 // AllClasses includes the network-abuse and byzantine classes too.
+// OpRemoveNode is in neither: membership churn needs a MemberTarget, so
+// campaigns opt in per protocol (explore's "raft-member" harness).
 var AllClasses = []Op{OpCrash, OpPartition, OpCutLink, OpDelaySet, OpDropRate, OpDupRate, OpByzantine}
 
 func (g GenConfig) withDefaults() GenConfig {
@@ -135,6 +137,26 @@ func Generate(rng *simnet.RNG, cfg GenConfig) Schedule {
 		}
 
 		switch op {
+		case OpRemoveNode:
+			// One membership change at a time (the protocols allow one
+			// conf change in flight), and a removed node counts against
+			// the down budget until it is re-admitted.
+			if overlapping(classWindows[op], start, end) > 0 {
+				continue
+			}
+			node := cfg.Nodes[rng.Intn(len(cfg.Nodes))]
+			if overlapping(downWindows[node], start, end) > 0 {
+				continue
+			}
+			if downAt(start, end) >= cfg.MaxDown {
+				continue
+			}
+			classWindows[op] = append(classWindows[op], window{start, end})
+			downWindows[node] = append(downWindows[node], window{start, end})
+			s.Events = append(s.Events,
+				Event{At: start, Op: OpRemoveNode, Node: node},
+				Event{At: end, Op: OpAddNode, Node: node})
+
 		case OpCrash, OpByzantine:
 			node := cfg.Nodes[rng.Intn(len(cfg.Nodes))]
 			mode := ""

@@ -51,6 +51,8 @@ const (
 	OpDupClear
 	OpByzantine // arm a canned byzantine outbox interceptor
 	OpByzClear
+	OpRemoveNode // vote a member out of the cluster (and kill it)
+	OpAddNode    // re-admit it as a fresh, stateless joiner
 )
 
 // String returns the op's spec-file keyword.
@@ -84,6 +86,10 @@ func (o Op) String() string {
 		return "byz"
 	case OpByzClear:
 		return "clearbyz"
+	case OpRemoveNode:
+		return "rmnode"
+	case OpAddNode:
+		return "addnode"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -96,7 +102,7 @@ func (o Op) Class() string { return o.Initiator().String() }
 // IsRecovery reports whether o is the recovery half of a fault pair.
 func (o Op) IsRecovery() bool {
 	switch o {
-	case OpRestart, OpHeal, OpRestoreLink, OpDelayClear, OpDropClear, OpDupClear, OpByzClear:
+	case OpRestart, OpHeal, OpRestoreLink, OpDelayClear, OpDropClear, OpDupClear, OpByzClear, OpAddNode:
 		return true
 	}
 	return false
@@ -119,6 +125,8 @@ func (o Op) Recovery() Op {
 		return OpDupClear
 	case OpByzantine:
 		return OpByzClear
+	case OpRemoveNode:
+		return OpAddNode
 	}
 	return o
 }
@@ -141,6 +149,8 @@ func (o Op) Initiator() Op {
 		return OpDupRate
 	case OpByzClear:
 		return OpByzantine
+	case OpAddNode:
+		return OpRemoveNode
 	}
 	return o
 }
@@ -149,6 +159,7 @@ func (o Op) Initiator() Op {
 // on Op:
 //
 //	Crash/Restart/Byzantine/ByzClear  Node (Byzantine also Mode)
+//	RemoveNode/AddNode                Node
 //	Partition                         Groups
 //	CutLink/RestoreLink               From, To
 //	DelaySet                          From, To, Lo, Hi
@@ -172,7 +183,7 @@ type Event struct {
 // the directed link, global ops on the op family alone.
 func (e Event) Key() string {
 	switch e.Op.Initiator() {
-	case OpCrash, OpByzantine:
+	case OpCrash, OpByzantine, OpRemoveNode:
 		return e.Op.Class() + ":" + e.Node.String()
 	case OpCutLink, OpDelaySet:
 		return e.Op.Class() + ":" + e.From.String() + ">" + e.To.String()
@@ -206,6 +217,17 @@ type Target interface {
 type ByzTarget interface {
 	ArmByzantine(id types.NodeID, mode string)
 	DisarmByzantine(id types.NodeID)
+}
+
+// MemberTarget drives dynamic membership: RemoveNode votes a member out
+// of the cluster (and typically kills it), AddNode re-admits the same ID
+// as a fresh, stateless joiner that must catch up from the survivors.
+// How the target realizes the change (conf entries, retries under
+// leader churn) is its business. Membership events are silently skipped
+// on targets that don't implement it.
+type MemberTarget interface {
+	AddNode(id types.NodeID)
+	RemoveNode(id types.NodeID)
 }
 
 // Schedule is an ordered list of fault events.
@@ -276,7 +298,8 @@ func (s *Schedule) Validate() error {
 				return fmt.Errorf("nemesis: event %d: byzantine event without mode", i)
 			}
 		case OpCrash, OpRestart, OpHeal, OpCutLink, OpRestoreLink,
-			OpDelaySet, OpDelayClear, OpDropClear, OpDupClear, OpByzClear:
+			OpDelaySet, OpDelayClear, OpDropClear, OpDupClear, OpByzClear,
+			OpRemoveNode, OpAddNode:
 			// no extra constraints
 		default:
 			return fmt.Errorf("nemesis: event %d: unknown op %d", i, uint8(e.Op))
@@ -319,6 +342,14 @@ func apply(t Target, e Event) {
 	case OpByzClear:
 		if bt, ok := t.(ByzTarget); ok {
 			bt.DisarmByzantine(e.Node)
+		}
+	case OpRemoveNode:
+		if mt, ok := t.(MemberTarget); ok {
+			mt.RemoveNode(e.Node)
+		}
+	case OpAddNode:
+		if mt, ok := t.(MemberTarget); ok {
+			mt.AddNode(e.Node)
 		}
 	}
 }

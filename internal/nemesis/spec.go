@@ -71,7 +71,7 @@ func (sp *Spec) Encode() []byte {
 func encodeEvent(e Event) string {
 	at := strconv.Itoa(e.At)
 	switch e.Op {
-	case OpCrash, OpRestart, OpByzClear:
+	case OpCrash, OpRestart, OpByzClear, OpRemoveNode, OpAddNode:
 		return fmt.Sprintf("%s %s %d", e.Op, at, int(e.Node))
 	case OpByzantine:
 		return fmt.Sprintf("%s %s %d %s", e.Op, at, int(e.Node), e.Mode)
@@ -100,7 +100,7 @@ func encodeEvent(e Event) string {
 // opsByKeyword maps spec keywords back to ops.
 var opsByKeyword = func() map[string]Op {
 	m := map[string]Op{}
-	for o := OpCrash; o <= OpByzClear; o++ {
+	for o := OpCrash; o <= OpAddNode; o++ {
 		m[o.String()] = o
 	}
 	return m
@@ -119,7 +119,7 @@ func Keywords() []string {
 }
 
 // ClassByKeyword resolves an initiating op from its keyword ("crash",
-// "partition", "cut", "delay", "drop", "dup", "byz").
+// "partition", "cut", "delay", "drop", "dup", "byz", "rmnode").
 func ClassByKeyword(kw string) (Op, bool) {
 	op, ok := opsByKeyword[kw]
 	if !ok || op.IsRecovery() {
@@ -294,7 +294,7 @@ func decodeEvent(fields []string) (Event, error) {
 	args = args[1:]
 
 	switch op {
-	case OpCrash, OpRestart, OpByzClear, OpByzantine:
+	case OpCrash, OpRestart, OpByzClear, OpByzantine, OpRemoveNode, OpAddNode:
 		if err := need(1); err != nil {
 			return e, err
 		}

@@ -34,10 +34,19 @@ func NewCluster(n int, fabric *simnet.Fabric, cfg Config, newSM func() smr.State
 	return c
 }
 
-// Pump drains decisions into executors, returning replies.
+// Pump drains decisions into executors, returning replies. A node that
+// installed a snapshot has its executor restored from the snapshot's
+// application state before any post-snapshot decisions apply.
 func (c *Cluster) Pump() []types.Reply {
 	var replies []types.Reply
 	for i, n := range c.Nodes {
+		if c.Execs != nil {
+			if snap := n.TakeInstalledSnapshot(); snap != nil {
+				if err := c.Execs[i].RestoreState(snap.State); err != nil {
+					panic("raft: harness snapshot restore: " + err.Error())
+				}
+			}
+		}
 		for _, d := range n.TakeDecisions() {
 			if c.Execs != nil {
 				replies = append(replies, c.Execs[i].Commit(d)...)
@@ -86,21 +95,30 @@ func (c *Cluster) WaitLeader(maxTicks int) *Node {
 
 // CheckLogMatching verifies the Log Matching property across all nodes:
 // if two logs hold an entry with the same index and term, the logs are
-// identical up through that index.
+// identical up through that index. Logs are aligned by global index, so
+// replicas that compacted different prefixes compare only over the
+// range both still hold.
 func (c *Cluster) CheckLogMatching() error {
 	for i := 0; i < len(c.Nodes); i++ {
 		for j := i + 1; j < len(c.Nodes); j++ {
-			a, b := c.Nodes[i].Log(), c.Nodes[j].Log()
-			n := len(a)
-			if len(b) < n {
-				n = len(b)
+			na, nb := c.Nodes[i], c.Nodes[j]
+			a, b := na.Log(), nb.Log()
+			baseA, baseB := na.SnapshotIndex(), nb.SnapshotIndex()
+			lo := baseA
+			if baseB > lo {
+				lo = baseB
 			}
-			for k := n - 1; k >= 1; k-- {
-				if a[k].Term == b[k].Term {
-					// Everything at and below k must match.
-					for l := 1; l <= k; l++ {
-						if a[l].Term != b[l].Term || !a[l].Val.Equal(b[l].Val) {
-							return &logMatchError{c.Nodes[i].id, c.Nodes[j].id, k, l}
+			hi := baseA + types.Seq(len(a)-1)
+			if h := baseB + types.Seq(len(b)-1); h < hi {
+				hi = h
+			}
+			for k := hi; k > lo; k-- {
+				if a[k-baseA].Term == b[k-baseB].Term {
+					// Everything at and below k (that both hold) must match.
+					for l := lo + 1; l <= k; l++ {
+						ea, eb := a[l-baseA], b[l-baseB]
+						if ea.Term != eb.Term || !ea.Val.Equal(eb.Val) {
+							return &logMatchError{na.id, nb.id, k, l}
 						}
 					}
 					break
@@ -113,8 +131,8 @@ func (c *Cluster) CheckLogMatching() error {
 
 type logMatchError struct {
 	a, b      types.NodeID
-	agreeIdx  int
-	divergeAt int
+	agreeIdx  types.Seq
+	divergeAt types.Seq
 }
 
 func (e *logMatchError) Error() string {

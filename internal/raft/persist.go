@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"fortyconsensus/internal/snapshot"
 	"fortyconsensus/internal/types"
 	"fortyconsensus/internal/wal"
 )
@@ -16,16 +17,22 @@ import (
 //
 // The protocol node stays a pure state machine: the persister *observes*
 // it after each Step/Tick batch (Sync), diffing against a shadow copy of
-// the hard state and appending only what changed. Replay applies records
-// in order: term/vote updates, log truncations, entry appends.
+// the hard state and appending only what changed. Once the node compacts
+// its log, the persister writes the encoded snapshot to the WAL's
+// snapshot file (pruning every journal segment) and re-journals the
+// hard state plus the surviving suffix — recovery is then
+// snapshot-then-suffix: install the snapshot, replay the journal on top.
+// Replay applies records in order: term/vote updates, log truncations,
+// entry appends; all indices are global (snapshot-offset aware).
 type Persister struct {
 	log *wal.Log
 
 	// Shadow of what is known durable.
 	term     Term
 	votedFor types.NodeID
-	length   types.Seq // entries persisted (log indices 1..length)
-	terms    []Term    // per-index terms of persisted entries
+	base     types.Seq // snapshot index covered by the WAL snapshot file
+	length   types.Seq // entries persisted (global log indices base+1..length)
+	terms    []Term    // per-index terms of persisted entries (index base+1 first)
 }
 
 // WAL record types.
@@ -34,6 +41,11 @@ const (
 	recAppend                     // index + term + value
 	recTruncate                   // new length
 )
+
+// snapKindRaft tags the WAL snapshot file as holding an encoded
+// snapshot.Snapshot (raft snapshot/v1), so recovery refuses payloads
+// written by a different subsystem.
+const snapKindRaft uint8 = 'R'
 
 // NewPersister wraps an open WAL.
 func NewPersister(l *wal.Log) *Persister {
@@ -47,6 +59,18 @@ func NewPersister(l *wal.Log) *Persister {
 // delivering, or accept the simulation-level simplification of syncing
 // per tick (what the tests do).
 func (p *Persister) Sync(n *Node) error {
+	if n.snapIndex > p.base {
+		// The node compacted (or installed a snapshot) past our base.
+		// Writing the snapshot file prunes the whole journal, so the
+		// shadow resets and the hard state plus suffix re-journal below.
+		if err := p.log.SnapshotTyped(snapKindRaft, n.snapData); err != nil {
+			return err
+		}
+		p.base = n.snapIndex
+		p.length = n.snapIndex
+		p.terms = p.terms[:0]
+		p.term, p.votedFor = 0, -1 // force a hard-state re-append
+	}
 	if n.term != p.term || n.votedFor != p.votedFor {
 		var buf [16]byte
 		binary.BigEndian.PutUint64(buf[:8], uint64(n.term))
@@ -59,8 +83,8 @@ func (p *Persister) Sync(n *Node) error {
 	// Detect truncation: a persisted index whose term changed.
 	last := n.lastIndex()
 	diverged := types.Seq(0)
-	for i := types.Seq(1); i <= p.length && i <= last; i++ {
-		if p.terms[i-1] != n.log[i].Term {
+	for i := p.base + 1; i <= p.length && i <= last; i++ {
+		if p.terms[i-p.base-1] != n.at(i).Term {
 			diverged = i
 			break
 		}
@@ -75,11 +99,11 @@ func (p *Persister) Sync(n *Node) error {
 			return err
 		}
 		p.length = diverged - 1
-		p.terms = p.terms[:p.length]
+		p.terms = p.terms[:p.length-p.base]
 	}
 	// Append new entries.
 	for i := p.length + 1; i <= last; i++ {
-		e := n.log[i]
+		e := n.at(i)
 		payload := make([]byte, 16+len(e.Val))
 		binary.BigEndian.PutUint64(payload[:8], uint64(i))
 		binary.BigEndian.PutUint64(payload[8:16], uint64(e.Term))
@@ -93,15 +117,30 @@ func (p *Persister) Sync(n *Node) error {
 	return nil
 }
 
-// Restore rebuilds a node's hard state from the journal. The node must
-// be freshly constructed (empty log, term 0). Volatile state — role,
-// commit index, leader — re-converges through the protocol, exactly as
-// Raft specifies.
+// Restore rebuilds a node's hard state from the snapshot file (if any)
+// plus the journal. The node must be freshly constructed (empty log,
+// term 0). Volatile state — role, commit index, leader — re-converges
+// through the protocol, exactly as Raft specifies; application state is
+// surfaced via TakeInstalledSnapshot for the host to restore.
 func (p *Persister) Restore(n *Node) error {
 	if n.lastIndex() != 0 || n.term != 0 {
 		return fmt.Errorf("raft: Restore requires a fresh node")
 	}
-	err := p.log.Replay(func(r wal.Record) error {
+	snapKind, rawSnap, err := p.log.LoadSnapshotTyped()
+	if err != nil {
+		return err
+	}
+	if rawSnap != nil {
+		if snapKind != snapKindRaft {
+			return fmt.Errorf("raft: WAL snapshot kind %#x is not a raft snapshot", snapKind)
+		}
+		snap, err := snapshot.Decode(rawSnap)
+		if err != nil {
+			return err
+		}
+		n.installSnapshot(snap, rawSnap)
+	}
+	err = p.log.Replay(func(r wal.Record) error {
 		switch r.Type {
 		case recHardState:
 			if len(r.Payload) != 16 {
@@ -122,7 +161,7 @@ func (p *Persister) Restore(n *Node) error {
 			if len(r.Payload) > 16 {
 				val = append(types.Value(nil), r.Payload[16:]...)
 			}
-			n.log = append(n.log, LogEntry{Term: term, Val: val})
+			n.appendEntry(LogEntry{Term: term, Val: val})
 		case recTruncate:
 			if len(r.Payload) != 8 {
 				return fmt.Errorf("raft: bad truncate record")
@@ -131,7 +170,10 @@ func (p *Persister) Restore(n *Node) error {
 			if keep > n.lastIndex() {
 				return fmt.Errorf("raft: truncate beyond log: %d > %d", keep, n.lastIndex())
 			}
-			n.log = n.log[:keep+1]
+			if keep < n.snapIndex {
+				return fmt.Errorf("raft: truncate below snapshot: %d < %d", keep, n.snapIndex)
+			}
+			n.truncateFrom(keep + 1)
 		default:
 			return fmt.Errorf("raft: unknown record type %d", r.Type)
 		}
@@ -142,10 +184,11 @@ func (p *Persister) Restore(n *Node) error {
 	}
 	// Sync the shadow to the restored state.
 	p.term, p.votedFor = n.term, n.votedFor
+	p.base = n.snapIndex
 	p.length = n.lastIndex()
 	p.terms = p.terms[:0]
-	for i := types.Seq(1); i <= n.lastIndex(); i++ {
-		p.terms = append(p.terms, n.log[i].Term)
+	for i := p.base + 1; i <= n.lastIndex(); i++ {
+		p.terms = append(p.terms, n.at(i).Term)
 	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"fortyconsensus/internal/core"
 	"fortyconsensus/internal/quorum"
 	"fortyconsensus/internal/simnet"
+	"fortyconsensus/internal/snapshot"
 	"fortyconsensus/internal/types"
 )
 
@@ -58,6 +59,8 @@ const (
 	MsgAppend
 	MsgAppendResp
 	MsgForward
+	MsgSnap     // InstallSnapshot: one chunk of an encoded snapshot
+	MsgSnapResp // InstallSnapshot response: progress ack or install report
 )
 
 func (k MsgKind) String() string {
@@ -72,6 +75,10 @@ func (k MsgKind) String() string {
 		return "append-resp"
 	case MsgForward:
 		return "forward"
+	case MsgSnap:
+		return "install-snapshot"
+	case MsgSnapResp:
+		return "install-snapshot-resp"
 	}
 	return fmt.Sprintf("MsgKind(%d)", uint8(k))
 }
@@ -95,8 +102,15 @@ type Message struct {
 	Success      bool
 	MatchIndex   types.Seq
 
-	// Forward
+	// Forward; for MsgSnap, the raw chunk bytes at Offset (the
+	// snapshot's last index and term ride PrevIndex/PrevTerm).
 	Val types.Value
+
+	// InstallSnapshot: chunk byte offset (request: offset of Val;
+	// response: next offset the follower wants) and whether the chunk
+	// completes the snapshot (request) / the install finished (response).
+	Offset uint32
+	Done   bool
 }
 
 // Runner accessors.
@@ -114,6 +128,15 @@ type Config struct {
 	ElectionTimeoutTicks int
 	// MaxBatch bounds entries per AppendEntries. Default 64.
 	MaxBatch int
+	// SnapChunk bounds InstallSnapshot chunk bytes. Default
+	// snapshot.DefaultChunkSize.
+	SnapChunk int
+	// Passive starts the node as a non-voting joiner: it never campaigns
+	// until it first hears from a leader. A fresh node added to a running
+	// cluster must start passive or its election timer — fired before the
+	// leader learns it exists — would disrupt the incumbent with a
+	// higher-term RequestVote.
+	Passive bool
 	// Seed seeds the node's private RNG.
 	Seed uint64
 }
@@ -127,6 +150,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
+	}
+	if c.SnapChunk <= 0 {
+		c.SnapChunk = snapshot.DefaultChunkSize
 	}
 	return c
 }
@@ -151,11 +177,39 @@ type Node struct {
 	votedFor types.NodeID // -1 = none this term
 	lead     types.NodeID // -1 = unknown
 
-	// log[0] is a sentinel; real entries start at index 1.
+	// log[0] is a sentinel holding snapTerm; real entries start at global
+	// index snapIndex+1. Before any compaction snapIndex is 0 and global
+	// indices equal slice positions.
 	log         []LogEntry
 	commitIndex types.Seq
 	applied     types.Seq
 	decisions   []types.Decision
+
+	// Compaction state: everything at or below snapIndex lives only in
+	// the encoded snapshot snapData.
+	snapIndex types.Seq
+	snapTerm  Term
+	snapData  []byte
+
+	// Dynamic membership. members is the current (possibly uncommitted)
+	// config, sorted; confLog remembers the member set in force *before*
+	// each uncommitted config entry so a conflict truncation can revert.
+	members []types.NodeID
+	confLog []confRecord
+	// selfRemovedAt is the uncommitted log index of an entry removing
+	// this node, or 0; a leader steps down once it commits.
+	selfRemovedAt types.Seq
+	passive       bool
+
+	// Snapshot transfer progress per follower (leader side) and the
+	// chunk assembler (follower side).
+	snapXfer map[types.NodeID]int
+	asm      snapshot.Assembler
+	asmIndex types.Seq
+	// installed surfaces the most recently installed snapshot so the
+	// host can restore its executor/state machine; drained by
+	// TakeInstalledSnapshot.
+	installed *snapshot.Snapshot
 
 	// Candidate state.
 	votes *quorum.Tally
@@ -186,7 +240,10 @@ func New(id types.NodeID, cfg Config) *Node {
 		votedFor: -1,
 		lead:     -1,
 		log:      []LogEntry{{}}, // sentinel at index 0
+		passive:  cfg.Passive,
 	}
+	n.members = append([]types.NodeID(nil), cfg.Peers...)
+	sortNodeIDs(n.members)
 	n.resetElectionTimer()
 	return n
 }
@@ -195,8 +252,13 @@ func (n *Node) resetElectionTimer() {
 	n.electionIn = n.cfg.ElectionTimeoutTicks + n.rng.Intn(n.cfg.ElectionTimeoutTicks)
 }
 
-func (n *Node) lastIndex() types.Seq { return types.Seq(len(n.log) - 1) }
+func (n *Node) lastIndex() types.Seq { return n.snapIndex + types.Seq(len(n.log)-1) }
 func (n *Node) lastTerm() Term       { return n.log[len(n.log)-1].Term }
+
+// at maps a global log index to its entry. Only indices in
+// [snapIndex, lastIndex] are addressable; at(snapIndex) is the sentinel
+// carrying the snapshot's term.
+func (n *Node) at(i types.Seq) LogEntry { return n.log[i-n.snapIndex] }
 
 func (n *Node) send(m Message) {
 	m.From = n.id
@@ -244,10 +306,25 @@ func (n *Node) Submit(v types.Value) {
 }
 
 func (n *Node) appendLocal(v types.Value) {
-	n.log = append(n.log, LogEntry{Term: n.term, Val: v})
+	if snapshot.IsConfChange(v) && !n.confAllowed(v) {
+		return // invalid or overlapping membership change: drop
+	}
+	n.appendEntry(LogEntry{Term: n.term, Val: v})
 	n.matchIndex[n.id] = n.lastIndex()
 	n.maybeCommit() // a single-node cluster commits immediately
 	n.replicateAll()
+}
+
+// appendEntry appends one entry at lastIndex+1, consuming a membership
+// change immediately if the value is one (the single-server rule: a
+// config entry takes effect when appended, not when committed).
+func (n *Node) appendEntry(e LogEntry) {
+	n.log = append(n.log, e)
+	if snapshot.IsConfChange(e.Val) {
+		if cc, err := snapshot.DecodeConfChange(e.Val); err == nil {
+			n.applyConf(cc, n.lastIndex())
+		}
+	}
 }
 
 func (n *Node) becomeFollower(term Term, lead types.NodeID) {
@@ -260,6 +337,10 @@ func (n *Node) becomeFollower(term Term, lead types.NodeID) {
 	n.lead = lead
 	n.votes = nil
 	n.nextIndex, n.matchIndex = nil, nil
+	n.snapXfer = nil
+	if lead >= 0 {
+		n.passive = false // heard from a live leader: full citizen now
+	}
 	n.resetElectionTimer()
 	if lead >= 0 && lead != n.id && (prevLead != lead || len(n.queued) > 0) {
 		queued := n.queued
@@ -279,7 +360,7 @@ func (n *Node) campaign() {
 	n.votes = quorum.NewTally(n.q.Threshold())
 	n.votes.Add(n.id)
 	n.resetElectionTimer()
-	for _, p := range n.cfg.Peers {
+	for _, p := range n.members {
 		if p == n.id {
 			continue
 		}
@@ -296,12 +377,13 @@ func (n *Node) campaign() {
 func (n *Node) becomeLeader() {
 	n.role = leader
 	n.lead = n.id
-	n.nextIndex = make(map[types.NodeID]types.Seq, len(n.cfg.Peers))
-	n.matchIndex = make(map[types.NodeID]types.Seq, len(n.cfg.Peers))
-	for _, p := range n.cfg.Peers {
+	n.nextIndex = make(map[types.NodeID]types.Seq, len(n.members))
+	n.matchIndex = make(map[types.NodeID]types.Seq, len(n.members))
+	for _, p := range n.members {
 		n.nextIndex[p] = n.lastIndex() + 1
 		n.matchIndex[p] = 0
 	}
+	n.snapXfer = nil
 	n.matchIndex[n.id] = n.lastIndex()
 	// A no-op entry from the new term lets the leader commit immediately
 	// (the classic "commit a current-term entry first" rule).
@@ -319,7 +401,7 @@ func (n *Node) becomeLeader() {
 }
 
 func (n *Node) replicateAll() {
-	for _, p := range n.cfg.Peers {
+	for _, p := range n.members {
 		if p != n.id {
 			n.replicateTo(p)
 		}
@@ -332,6 +414,12 @@ func (n *Node) replicateTo(p types.NodeID) {
 	if next < 1 {
 		next = 1
 	}
+	if next <= n.snapIndex {
+		// The entries this follower needs were compacted away: stream the
+		// snapshot instead, resuming at the follower's last acked offset.
+		n.sendSnapChunk(p)
+		return
+	}
 	prev := next - 1
 	hi := n.lastIndex()
 	if max := prev + types.Seq(n.cfg.MaxBatch); hi > max {
@@ -343,11 +431,11 @@ func (n *Node) replicateTo(p types.NodeID) {
 		// log's backing array (a later truncate-and-append would rewrite
 		// them), but the Values inside are immutable and shared.
 		batch = make([]LogEntry, hi-next+1)
-		copy(batch, n.log[next:hi+1])
+		copy(batch, n.log[next-n.snapIndex:hi-n.snapIndex+1])
 	}
 	n.send(Message{
 		Kind: MsgAppend, To: p,
-		PrevIndex: prev, PrevTerm: n.log[prev].Term,
+		PrevIndex: prev, PrevTerm: n.at(prev).Term,
 		Entries: batch, LeaderCommit: n.commitIndex,
 	})
 }
@@ -366,6 +454,10 @@ func (n *Node) Step(m Message) {
 		n.onAppend(m)
 	case MsgAppendResp:
 		n.onAppendResp(m)
+	case MsgSnap:
+		n.onSnap(m)
+	case MsgSnapResp:
+		n.onSnapResp(m)
 	case MsgForward:
 		if n.role == leader {
 			n.appendLocal(m.Val)
@@ -397,6 +489,9 @@ func (n *Node) onVote(m Message) {
 	if n.role != candidate || m.Term != n.term || !m.Granted {
 		return
 	}
+	if !n.isMember(m.From) {
+		return // a vote from outside the current config must not count
+	}
 	if n.votes.Add(m.From) {
 		n.becomeLeader()
 	}
@@ -408,27 +503,40 @@ func (n *Node) onAppend(m Message) {
 		return
 	}
 	n.becomeFollower(m.Term, m.From)
+	entries, prevIndex, prevTerm := m.Entries, m.PrevIndex, m.PrevTerm
+	if prevIndex < n.snapIndex {
+		// The message starts below our snapshot. Everything through
+		// snapIndex is committed state we already hold, so trim the prefix
+		// and re-anchor the consistency check at the snapshot boundary.
+		drop := n.snapIndex - prevIndex
+		if types.Seq(len(entries)) <= drop {
+			n.send(Message{Kind: MsgAppendResp, To: m.From, Success: true, MatchIndex: n.snapIndex})
+			return
+		}
+		entries = entries[drop:]
+		prevIndex, prevTerm = n.snapIndex, n.snapTerm
+	}
 	// Log Matching check.
-	if m.PrevIndex > n.lastIndex() || n.log[m.PrevIndex].Term != m.PrevTerm {
+	if prevIndex > n.lastIndex() || n.at(prevIndex).Term != prevTerm {
 		n.send(Message{Kind: MsgAppendResp, To: m.From, Success: false, MatchIndex: n.commitIndex})
 		return
 	}
 	// Append, truncating conflicts.
-	idx := m.PrevIndex
-	for i, e := range m.Entries {
-		idx = m.PrevIndex + types.Seq(i) + 1
+	idx := prevIndex
+	for i, e := range entries {
+		idx = prevIndex + types.Seq(i) + 1
 		if idx <= n.lastIndex() {
-			if n.log[idx].Term == e.Term {
+			if n.at(idx).Term == e.Term {
 				continue
 			}
 			if idx <= n.commitIndex {
 				panic(fmt.Sprintf("raft: node %v truncating committed index %d", n.id, idx))
 			}
-			n.log = n.log[:idx]
+			n.truncateFrom(idx)
 		}
-		n.log = append(n.log, e) // header copied by value, Value shared
+		n.appendEntry(e) // header copied by value, Value shared
 	}
-	match := m.PrevIndex + types.Seq(len(m.Entries))
+	match := prevIndex + types.Seq(len(entries))
 	if m.LeaderCommit > n.commitIndex {
 		upTo := m.LeaderCommit
 		if match < upTo {
@@ -454,6 +562,7 @@ func (n *Node) onAppendResp(m Message) {
 		n.replicateTo(m.From)
 		return
 	}
+	delete(n.snapXfer, m.From)
 	if m.MatchIndex > n.matchIndex[m.From] {
 		n.matchIndex[m.From] = m.MatchIndex
 	}
@@ -468,11 +577,11 @@ func (n *Node) onAppendResp(m Message) {
 // index replicated on a majority. The match-index scratch lives on the
 // node and the sort is in place, so the commit check allocates nothing.
 func (n *Node) maybeCommit() {
-	if cap(n.matchScratch) < len(n.cfg.Peers) {
-		n.matchScratch = make([]types.Seq, 0, len(n.cfg.Peers))
+	if cap(n.matchScratch) < len(n.members) {
+		n.matchScratch = make([]types.Seq, 0, len(n.members))
 	}
 	matches := n.matchScratch[:0]
-	for _, p := range n.cfg.Peers {
+	for _, p := range n.members {
 		matches = append(matches, n.matchIndex[p])
 	}
 	// Insertion sort, descending: clusters are small and sort.Slice's
@@ -483,7 +592,7 @@ func (n *Node) maybeCommit() {
 		}
 	}
 	candidate := matches[n.q.Threshold()-1]
-	if candidate > n.commitIndex && n.log[candidate].Term == n.term {
+	if candidate > n.commitIndex && candidate > n.snapIndex && n.at(candidate).Term == n.term {
 		n.advanceCommit(candidate)
 		// Propagate the new commit index promptly.
 		n.replicateAll()
@@ -500,7 +609,12 @@ func (n *Node) advanceCommit(to types.Seq) {
 	n.commitIndex = to
 	for n.applied < n.commitIndex {
 		n.applied++
-		n.decisions = append(n.decisions, types.Decision{Slot: n.applied, Val: n.log[n.applied].Val})
+		n.decisions = append(n.decisions, types.Decision{Slot: n.applied, Val: n.at(n.applied).Val})
+	}
+	if n.selfRemovedAt > 0 && n.commitIndex >= n.selfRemovedAt && n.role == leader {
+		// The entry removing this node is committed: step down so the
+		// remaining members elect a leader from the new config.
+		n.becomeFollower(n.term, -1)
 	}
 }
 
@@ -515,6 +629,12 @@ func (n *Node) Tick() {
 	case follower, candidate:
 		n.electionIn--
 		if n.electionIn <= 0 {
+			if n.passive || !n.isMember(n.id) {
+				// Joiners and removed nodes never campaign; a removed
+				// node's stale RequestVote would disrupt the live config.
+				n.resetElectionTimer()
+				return
+			}
 			n.campaign()
 		}
 	}

@@ -1,0 +1,214 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"fortyconsensus/internal/commit"
+	"fortyconsensus/internal/det"
+	"fortyconsensus/internal/kvstore"
+	"fortyconsensus/internal/types"
+)
+
+// Store snapshot codec. A shard replica's transaction correctness
+// depends on more than the committed KV: a restored node must also hold
+// the prepare-lock table, the staged (prepared, undecided) write sets,
+// the latched per-transaction outcomes, and the home-shard decision
+// records — otherwise a node joining from a snapshot could grant a
+// conflicting prepare or forget a vote it already cast. All five
+// components serialize in sorted order so replicas at the same log
+// frontier produce identical bytes. Drained events are transient and
+// excluded.
+//
+// Format: u8 ver=1 | u32 kvLen | kv | u32 nLocks | nLocks × (u16 keyLen
+// | key | u64 tx) | u32 nStaged | nStaged × (u64 tx | u32 nCmds |
+// nCmds × (u32 len | cmd) | u32 nKeys | nKeys × (u16 len | key)) |
+// u32 nOutcomes | nOutcomes × (u64 tx | u8 o) | u32 nDecided |
+// nDecided × (u64 tx | u8 o)
+
+const storeSnapVersion = 1
+
+// ErrSnapshot reports a malformed shard store snapshot.
+var ErrSnapshot = errors.New("shard: malformed store snapshot")
+
+// Snapshot serializes the full shard state machine deterministically.
+func (s *Store) Snapshot() []byte {
+	kv := s.kv.Snapshot()
+	buf := make([]byte, 0, 1+4+len(kv)+64)
+	buf = append(buf, storeSnapVersion)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(kv)))
+	buf = append(buf, kv...)
+
+	lockKeys := det.SortedKeys(s.locks)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(lockKeys)))
+	for _, k := range lockKeys {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(k)))
+		buf = append(buf, k...)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(s.locks[k]))
+	}
+
+	stagedTxs := det.SortedKeys(s.staged)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(stagedTxs)))
+	for _, tx := range stagedTxs {
+		st := s.staged[tx]
+		buf = binary.BigEndian.AppendUint64(buf, uint64(tx))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.cmds)))
+		for _, c := range st.cmds {
+			enc := c.Encode()
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(enc)))
+			buf = append(buf, enc...)
+		}
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.keys)))
+		for _, k := range st.keys {
+			buf = binary.BigEndian.AppendUint16(buf, uint16(len(k)))
+			buf = append(buf, k...)
+		}
+	}
+
+	buf = appendOutcomeMap(buf, s.outcomes)
+	return appendOutcomeMap(buf, s.decided)
+}
+
+func appendOutcomeMap(buf []byte, m map[commit.TxID]commit.Outcome) []byte {
+	txs := det.SortedKeys(m)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(txs)))
+	for _, tx := range txs {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(tx))
+		buf = append(buf, byte(m[tx]))
+	}
+	return buf
+}
+
+// Restore replaces the store's contents from a Snapshot blob. Malformed
+// input is an explicit error and leaves the store untouched.
+func (s *Store) Restore(snap []byte) error {
+	d := snapReader{b: snap}
+	if v := d.u8(); v != storeSnapVersion {
+		if d.err != nil {
+			return d.err
+		}
+		return fmt.Errorf("%w: version %d", ErrSnapshot, v)
+	}
+	kvBytes := d.bytes(int(d.u32()))
+	nl := int(d.u32())
+	locks := make(map[string]commit.TxID, nl)
+	for i := 0; i < nl && d.err == nil; i++ {
+		k := string(d.bytes(int(d.u16())))
+		locks[k] = commit.TxID(d.u64())
+	}
+	ns := int(d.u32())
+	staged := make(map[commit.TxID]*stagedTxn, ns)
+	for i := 0; i < ns && d.err == nil; i++ {
+		tx := commit.TxID(d.u64())
+		st := &stagedTxn{}
+		nc := int(d.u32())
+		for j := 0; j < nc && d.err == nil; j++ {
+			enc := d.bytes(int(d.u32()))
+			if d.err != nil {
+				break
+			}
+			c, err := kvstore.Decode(types.Value(enc))
+			if err != nil {
+				return fmt.Errorf("%w: staged command: %v", ErrSnapshot, err)
+			}
+			st.cmds = append(st.cmds, c)
+		}
+		nk := int(d.u32())
+		for j := 0; j < nk && d.err == nil; j++ {
+			st.keys = append(st.keys, string(d.bytes(int(d.u16()))))
+		}
+		staged[tx] = st
+	}
+	outcomes := d.outcomeMap()
+	decided := d.outcomeMap()
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrSnapshot, len(d.b))
+	}
+	kv := kvstore.New()
+	if err := kv.Restore(kvBytes); err != nil {
+		return err
+	}
+	s.kv = kv
+	s.locks, s.staged = locks, staged
+	s.outcomes, s.decided = outcomes, decided
+	s.events = nil
+	return nil
+}
+
+// snapReader is a sticky-error cursor over a snapshot blob: the first
+// short read latches the error and every later read returns zeros, so
+// decode loops stay flat.
+type snapReader struct {
+	b   []byte
+	err error
+}
+
+func (d *snapReader) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated", ErrSnapshot)
+	}
+}
+
+func (d *snapReader) u8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *snapReader) u16() uint16 {
+	if d.err != nil || len(d.b) < 2 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.b)
+	d.b = d.b[2:]
+	return v
+}
+
+func (d *snapReader) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *snapReader) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *snapReader) bytes(n int) []byte {
+	if d.err != nil || n < 0 || len(d.b) < n {
+		d.fail()
+		return nil
+	}
+	v := append([]byte(nil), d.b[:n]...)
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *snapReader) outcomeMap() map[commit.TxID]commit.Outcome {
+	n := int(d.u32())
+	m := make(map[commit.TxID]commit.Outcome, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		tx := commit.TxID(d.u64())
+		m[tx] = commit.Outcome(d.u8())
+	}
+	return m
+}

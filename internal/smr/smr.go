@@ -11,12 +11,20 @@ import (
 	"errors"
 	"fmt"
 
+	"fortyconsensus/internal/det"
+	"fortyconsensus/internal/snapshot"
 	"fortyconsensus/internal/types"
 )
 
-// StateMachine is the replicated application. kvstore.Store implements it.
+// StateMachine is the replicated application. kvstore.Store and
+// shard.Store implement it. Snapshot must serialize the complete state
+// deterministically (two replicas that applied the same command prefix
+// produce identical bytes); Restore replaces the state from a snapshot
+// and rejects malformed input with an error.
 type StateMachine interface {
 	Apply(cmd types.Value) types.Value
+	Snapshot() []byte
+	Restore(snap []byte) error
 }
 
 // EncodeRequest packs a client request into a consensus value:
@@ -108,6 +116,12 @@ func (e *Executor) Commit(d types.Decision) []types.Reply {
 
 func (e *Executor) apply(slot types.Seq, val types.Value) (types.Reply, bool) {
 	e.applied = append(e.applied, types.Decision{Slot: slot, Val: val})
+	if snapshot.IsConfChange(val) {
+		// Membership changes are consumed by the protocol layer at
+		// append/learn time; the state machine never sees them. They stay
+		// in the applied history so replica audits align slot-for-slot.
+		return types.Reply{}, false
+	}
 	req, err := DecodeRequest(val)
 	if err != nil {
 		// Not a client request (e.g. a leader no-op): apply raw with no
@@ -130,24 +144,113 @@ func (e *Executor) apply(slot types.Seq, val types.Value) (types.Reply, bool) {
 // NextSlot returns the first unapplied slot (the apply frontier).
 func (e *Executor) NextSlot() types.Seq { return e.next }
 
+// SnapshotState serializes the executor's session state plus the state
+// machine for a snapshot covering every slot below NextSlot():
+// u64 next | u32 nClients | nClients × (u64 client | u64 lastSeq |
+// u32 replyLen | reply) | u32 smLen | sm.Snapshot().
+// Clients iterate in sorted order so every replica at the same frontier
+// produces identical bytes.
+func (e *Executor) SnapshotState() []byte {
+	clients := det.SortedKeys(e.lastSeq)
+	buf := make([]byte, 0, 12+24*len(clients))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.next))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(clients)))
+	for _, c := range clients {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(c))
+		buf = binary.BigEndian.AppendUint64(buf, e.lastSeq[c])
+		r := e.lastReply[c]
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(r)))
+		buf = append(buf, r...)
+	}
+	sm := e.sm.Snapshot()
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(sm)))
+	return append(buf, sm...)
+}
+
+// RestoreState replaces the executor's sessions and state machine from
+// a SnapshotState blob and fast-forwards the apply frontier to the
+// snapshot's. Pending out-of-order commits at or below the new frontier
+// are dropped (the snapshot subsumes them); the applied history resets,
+// so post-restore audits cover only the suffix. Malformed input is an
+// explicit error and leaves the executor untouched.
+func (e *Executor) RestoreState(data []byte) error {
+	if len(data) < 12 {
+		return ErrDecode
+	}
+	next := types.Seq(binary.BigEndian.Uint64(data))
+	n := int(binary.BigEndian.Uint32(data[8:]))
+	off := 12
+	lastSeq := make(map[types.ClientID]uint64, n)
+	lastReply := make(map[types.ClientID]types.Value, n)
+	for i := 0; i < n; i++ {
+		if len(data) < off+20 {
+			return ErrDecode
+		}
+		c := types.ClientID(binary.BigEndian.Uint64(data[off:]))
+		seq := binary.BigEndian.Uint64(data[off+8:])
+		rl := int(binary.BigEndian.Uint32(data[off+16:]))
+		off += 20
+		if rl > len(data)-off {
+			return ErrDecode
+		}
+		lastSeq[c] = seq
+		if rl > 0 {
+			lastReply[c] = types.Value(append([]byte(nil), data[off:off+rl]...))
+		}
+		off += rl
+	}
+	if len(data) < off+4 {
+		return ErrDecode
+	}
+	sl := int(binary.BigEndian.Uint32(data[off:]))
+	off += 4
+	if sl != len(data)-off {
+		return ErrDecode
+	}
+	if err := e.sm.Restore(data[off : off+sl]); err != nil {
+		return err
+	}
+	e.next = next
+	e.lastSeq, e.lastReply = lastSeq, lastReply
+	e.applied = nil
+	for _, slot := range det.SortedKeys(e.pending) {
+		if slot < next {
+			delete(e.pending, slot)
+		}
+	}
+	return nil
+}
+
 // Applied returns the executor's full apply history in order.
 func (e *Executor) Applied() []types.Decision { return e.applied }
 
 // CheckPrefixConsistency verifies that every executor applied the same
 // value at every slot both applied — the fundamental SMR safety
-// invariant. It returns an error naming the first divergence.
+// invariant. Histories are aligned by slot, not list position: an
+// executor restored from a snapshot has a history starting mid-log, and
+// only the overlapping slot range is compared. It returns an error
+// naming the first divergence.
 func CheckPrefixConsistency(execs ...*Executor) error {
 	for i := 0; i < len(execs); i++ {
 		for j := i + 1; j < len(execs); j++ {
 			a, b := execs[i].Applied(), execs[j].Applied()
-			n := len(a)
-			if len(b) < n {
-				n = len(b)
+			if len(a) == 0 || len(b) == 0 {
+				continue
 			}
-			for k := 0; k < n; k++ {
-				if a[k].Slot != b[k].Slot || !a[k].Val.Equal(b[k].Val) {
-					return fmt.Errorf("smr: divergence at position %d: node %v has (%d,%q), node %v has (%d,%q)",
-						k, execs[i].node, a[k].Slot, a[k].Val, execs[j].node, b[k].Slot, b[k].Val)
+			// Each history is a contiguous ascending slot run, so the
+			// overlap is an index offset on both sides.
+			lo := a[0].Slot
+			if b[0].Slot > lo {
+				lo = b[0].Slot
+			}
+			for k := 0; ; k++ {
+				ka, kb := int(lo-a[0].Slot)+k, int(lo-b[0].Slot)+k
+				if ka >= len(a) || kb >= len(b) {
+					break
+				}
+				if a[ka].Slot != b[kb].Slot || !a[ka].Val.Equal(b[kb].Val) {
+					return fmt.Errorf("smr: divergence at slot %d: node %v has (%d,%q), node %v has (%d,%q)",
+						lo+types.Seq(k), execs[i].node, a[ka].Slot, a[ka].Val, execs[j].node, b[kb].Slot, b[kb].Val)
 				}
 			}
 		}

@@ -1,0 +1,209 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fortyconsensus/internal/types"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Snapshot{
+		{},
+		{LastIndex: 1, LastTerm: 1},
+		{LastIndex: 42, LastTerm: 7, Members: []types.NodeID{0, 1, 2}},
+		{LastIndex: 1 << 40, LastTerm: 9, Members: []types.NodeID{3}, State: []byte("kv-state")},
+		{LastIndex: 5, Members: []types.NodeID{0, 1, 2, 3, 4}, State: bytes.Repeat([]byte{0xAB}, 10_000)},
+	}
+	for i, want := range cases {
+		b := Encode(want)
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got.LastIndex != want.LastIndex || got.LastTerm != want.LastTerm {
+			t.Fatalf("case %d: got %+v want %+v", i, got, want)
+		}
+		if len(got.Members) != len(want.Members) {
+			t.Fatalf("case %d: members %v want %v", i, got.Members, want.Members)
+		}
+		for j := range got.Members {
+			if got.Members[j] != want.Members[j] {
+				t.Fatalf("case %d: members %v want %v", i, got.Members, want.Members)
+			}
+		}
+		if !bytes.Equal(got.State, want.State) {
+			t.Fatalf("case %d: state mismatch", i)
+		}
+	}
+}
+
+// Every truncation of a valid encoding must decode to an explicit
+// error — the repo-wide codec standard.
+func TestDecodeTruncationFuzz(t *testing.T) {
+	full := Encode(Snapshot{
+		LastIndex: 99, LastTerm: 3,
+		Members: []types.NodeID{0, 1, 2, 5},
+		State:   []byte("the quick brown fox"),
+	})
+	for n := 0; n < len(full); n++ {
+		if _, err := Decode(full[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+	// Trailing garbage is an error too.
+	if _, err := Decode(append(append([]byte(nil), full...), 0x00)); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+	// Any single-bit corruption must fail the checksum (or framing).
+	for i := 0; i < len(full); i++ {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x80
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("bit flip at byte %d decoded without error", i)
+		}
+	}
+}
+
+func TestDecodeVersionErrors(t *testing.T) {
+	if _, err := Decode([]byte("XXXX00000000")); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad magic: got %v", err)
+	}
+	b := Encode(Snapshot{LastIndex: 1})
+	b[3] = '9'
+	if _, err := Decode(b); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: got %v", err)
+	}
+}
+
+func TestChunkTransferResume(t *testing.T) {
+	data := bytes.Repeat([]byte("0123456789"), 100) // 1000 bytes
+	const size = 64
+
+	var asm Assembler
+	off := 0
+	steps := 0
+	for {
+		steps++
+		chunk, done := ChunkAt(data, off, size)
+		// Lose every third chunk once: the sender retransmits from the
+		// receiver's stated offset.
+		if steps%3 == 0 && off == asm.Offset() && steps < 40 {
+			continue // dropped on the wire; receiver never saw it
+		}
+		if !asm.Add(off, chunk) {
+			off = asm.Offset() // receiver nacks with the offset it wants
+			continue
+		}
+		if done {
+			break
+		}
+		off = asm.Offset()
+	}
+	if got := asm.Take(); !bytes.Equal(got, data) {
+		t.Fatalf("assembled %d bytes, want %d", len(got), len(data))
+	}
+}
+
+func TestChunkAtEdges(t *testing.T) {
+	if c, done := ChunkAt(nil, 0, 16); len(c) != 0 || !done {
+		t.Fatalf("empty data: got %v,%v", c, done)
+	}
+	data := []byte("abcdef")
+	if c, done := ChunkAt(data, 0, 0); !bytes.Equal(c, data) || !done {
+		t.Fatalf("zero size should default: got %q,%v", c, done)
+	}
+	if c, done := ChunkAt(data, 4, 2); !bytes.Equal(c, []byte("ef")) || !done {
+		t.Fatalf("final chunk: got %q,%v", c, done)
+	}
+	if c, done := ChunkAt(data, 99, 2); c != nil || !done {
+		t.Fatalf("past-end offset: got %q,%v", c, done)
+	}
+}
+
+func TestAssemblerRejectsOutOfOrder(t *testing.T) {
+	var a Assembler
+	if !a.Add(0, []byte("ab")) {
+		t.Fatal("in-order chunk rejected")
+	}
+	if a.Add(5, []byte("zz")) {
+		t.Fatal("gap chunk accepted")
+	}
+	if a.Add(0, []byte("ab")) {
+		t.Fatal("duplicate chunk accepted")
+	}
+	if a.Offset() != 2 {
+		t.Fatalf("offset %d want 2", a.Offset())
+	}
+}
+
+func TestConfChangeRoundTrip(t *testing.T) {
+	for _, c := range []ConfChange{
+		{Op: ConfAdd, Node: 3},
+		{Op: ConfRemove, Node: 0},
+		{Op: ConfAdd, Node: 1 << 20},
+	} {
+		v := EncodeConfChange(c)
+		if !IsConfChange(v) {
+			t.Fatalf("%v: IsConfChange false", c)
+		}
+		got, err := DecodeConfChange(v)
+		if err != nil || got != c {
+			t.Fatalf("%v: got %v err %v", c, got, err)
+		}
+	}
+	// Client-request values must never look like config changes.
+	if IsConfChange(types.Value("client request payload")) {
+		t.Fatal("plain value detected as conf change")
+	}
+	if IsConfChange(nil) {
+		t.Fatal("nil value detected as conf change")
+	}
+	// Prefixed but malformed bodies are explicit errors.
+	v := EncodeConfChange(ConfChange{Op: ConfAdd, Node: 1})
+	if _, err := DecodeConfChange(v[:12]); err == nil {
+		t.Fatal("truncated conf change decoded")
+	}
+	bad := append(types.Value(nil), v...)
+	bad[8] = 99
+	if _, err := DecodeConfChange(bad); err == nil {
+		t.Fatal("unknown op decoded")
+	}
+}
+
+func TestConfChangeApply(t *testing.T) {
+	ms := []types.NodeID{0, 1, 2}
+	got := ConfChange{Op: ConfAdd, Node: 4}.Apply(ms)
+	want := []types.NodeID{0, 1, 2, 4}
+	eq := func(a, b []types.NodeID) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !eq(got, want) {
+		t.Fatalf("add: got %v want %v", got, want)
+	}
+	if !eq(ConfChange{Op: ConfAdd, Node: 1}.Apply(ms), ms) {
+		t.Fatal("re-add changed members")
+	}
+	if !eq(ConfChange{Op: ConfRemove, Node: 1}.Apply(ms), []types.NodeID{0, 2}) {
+		t.Fatal("remove failed")
+	}
+	if !eq(ConfChange{Op: ConfRemove, Node: 9}.Apply(ms), ms) {
+		t.Fatal("remove-absent changed members")
+	}
+	// Out-of-order add lands sorted.
+	if !eq(ConfChange{Op: ConfAdd, Node: 1}.Apply([]types.NodeID{0, 2, 3}), []types.NodeID{0, 1, 2, 3}) {
+		t.Fatal("add not sorted")
+	}
+	if !eq(ms, []types.NodeID{0, 1, 2}) {
+		t.Fatal("Apply mutated its input")
+	}
+}

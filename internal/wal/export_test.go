@@ -1,0 +1,5 @@
+package wal
+
+import "hash/crc32"
+
+func checksumForTest(b []byte) uint32 { return crc32.Checksum(b, crcTable) }

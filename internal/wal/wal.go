@@ -34,7 +34,21 @@ var (
 	ErrCorrupt = errors.New("wal: corrupt record")
 	// ErrClosed reports use after Close.
 	ErrClosed = errors.New("wal: closed")
+	// ErrReservedType reports a record type in the wal-reserved range
+	// [TypeReservedBase, 0xFF]. Appending one is a caller bug; replaying
+	// one means the journal was written by a future wal version whose
+	// internal records this version cannot interpret, so recovery must
+	// stop loudly rather than misread them.
+	ErrReservedType = errors.New("wal: reserved record type")
+	// ErrSnapshotVersion reports a snapshot file whose header magic or
+	// version byte is unknown to this wal version.
+	ErrSnapshotVersion = errors.New("wal: unknown snapshot format")
 )
+
+// TypeReservedBase is the first record type reserved for wal-internal
+// use (snapshot markers and future framing changes). Callers own types
+// below it.
+const TypeReservedBase uint8 = 0xF0
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -116,10 +130,14 @@ func listSegments(dir string) ([]int, error) {
 	return segs, nil
 }
 
-// Append journals one record, rotating segments as needed.
+// Append journals one record, rotating segments as needed. Record
+// types at or above TypeReservedBase are rejected.
 func (l *Log) Append(r Record) error {
 	if l.closed {
 		return ErrClosed
+	}
+	if r.Type >= TypeReservedBase {
+		return fmt.Errorf("%w: %#x", ErrReservedType, r.Type)
 	}
 	if l.size >= l.opt.SegmentBytes {
 		if err := l.rotate(); err != nil {
@@ -199,20 +217,49 @@ func replaySegment(path string, fn func(Record) error) error {
 		if crc32.Checksum(body[:n], crcTable) != want {
 			return nil // checksum mismatch at tail
 		}
+		if body[0] >= TypeReservedBase {
+			return fmt.Errorf("%w: %#x in journal", ErrReservedType, body[0])
+		}
 		if err := fn(Record{Type: body[0], Payload: body[1:n]}); err != nil {
 			return err
 		}
 	}
 }
 
-// Snapshot atomically replaces the log's snapshot with payload and prunes
-// all completed segments; subsequent Replay starts from the snapshot.
+// Snapshot-file header: "WSN" ver(u8='1') | u8 kind | u32 payload len |
+// payload | u32 crc32c(header+payload). The kind byte tags what the
+// payload encodes (caller-defined, e.g. a raft snapshot/v1 blob vs. an
+// opaque checkpoint) so recovery can refuse payloads it does not
+// understand instead of misreading them.
+var snapMagic = [3]byte{'W', 'S', 'N'}
+
+const (
+	snapVersion   = '1'
+	snapHeaderLen = 3 + 1 + 1 + 4
+	// SnapKindOpaque is the kind used by the untyped Snapshot API.
+	SnapKindOpaque uint8 = 0
+)
+
+// Snapshot atomically replaces the log's snapshot with payload (tagged
+// SnapKindOpaque) and prunes all completed segments; subsequent Replay
+// starts from the snapshot.
 func (l *Log) Snapshot(payload []byte) error {
+	return l.SnapshotTyped(SnapKindOpaque, payload)
+}
+
+// SnapshotTyped is Snapshot with an explicit kind tag in the header.
+func (l *Log) SnapshotTyped(kind uint8, payload []byte) error {
 	if l.closed {
 		return ErrClosed
 	}
+	buf := make([]byte, 0, snapHeaderLen+len(payload)+4)
+	buf = append(buf, snapMagic[:]...)
+	buf = append(buf, snapVersion, kind)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
 	tmp := filepath.Join(l.dir, "snapshot.tmp")
-	if err := os.WriteFile(tmp, payload, 0o644); err != nil {
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(l.dir, "snapshot")); err != nil {
@@ -247,14 +294,52 @@ func (l *Log) Snapshot(payload []byte) error {
 
 // LoadSnapshot returns the current snapshot payload, or nil if none.
 func (l *Log) LoadSnapshot() ([]byte, error) {
+	_, payload, err := l.LoadSnapshotTyped()
+	return payload, err
+}
+
+// LoadSnapshotTyped returns the snapshot's kind tag and payload, or
+// (0, nil, nil) when no snapshot exists. A header with unknown magic or
+// version yields ErrSnapshotVersion; any truncation or corruption of
+// the file yields ErrCorrupt — never a partial payload.
+func (l *Log) LoadSnapshotTyped() (uint8, []byte, error) {
 	b, err := os.ReadFile(filepath.Join(l.dir, "snapshot"))
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return 0, nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("wal: %w", err)
+		return 0, nil, fmt.Errorf("wal: %w", err)
 	}
-	return b, nil
+	return decodeSnapshotFile(b)
+}
+
+func decodeSnapshotFile(b []byte) (uint8, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	if b[0] != snapMagic[0] || b[1] != snapMagic[1] || b[2] != snapMagic[2] {
+		return 0, nil, ErrSnapshotVersion
+	}
+	if b[3] != snapVersion {
+		return 0, nil, fmt.Errorf("%w: version %q", ErrSnapshotVersion, b[3])
+	}
+	if len(b) < snapHeaderLen {
+		return 0, nil, fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	kind := b[4]
+	n := int(binary.BigEndian.Uint32(b[5:]))
+	if n != len(b)-snapHeaderLen-4 {
+		return 0, nil, fmt.Errorf("%w: snapshot length %d in %d-byte file", ErrCorrupt, n, len(b))
+	}
+	body := snapHeaderLen + n
+	if crc32.Checksum(b[:body], crcTable) != binary.BigEndian.Uint32(b[body:]) {
+		return 0, nil, fmt.Errorf("%w: snapshot checksum", ErrCorrupt)
+	}
+	var payload []byte
+	if n > 0 {
+		payload = append([]byte(nil), b[snapHeaderLen:body]...)
+	}
+	return kind, payload, nil
 }
 
 // Close flushes and closes the active segment.

@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — end-to-end smoke test for the live cluster runtime.
 #
-# Builds consensus-serve and consensus-load, starts a 3-node raft-backed
-# sharded KV on localhost TCP, pushes a load burst through the client
-# library, kills one node, pushes a second burst (the cluster must keep
-# committing), then SIGTERMs the survivors and requires clean exits.
+# Builds consensus-serve, consensus-load, and consensus-admin, starts a
+# 3-node raft-backed sharded KV on localhost TCP with log compaction
+# on, pushes a load burst through the client library, then exercises
+# dynamic membership: waits until every original node has compacted,
+# grows the cluster to 4 with a passive joiner (which can therefore
+# only catch up through a snapshot transfer — asserted via admin
+# status), votes an original node out and kills it, pushes a final
+# burst through the reshaped cluster, and requires clean SIGTERM exits.
 set -u
 
 BASE_PORT="${SMOKE_BASE_PORT:-49531}"
 DIR="$(mktemp -d)"
-P0=""; P1=""; P2=""
+P0=""; P1=""; P2=""; P3=""
 FAIL=0
 
 cleanup() {
-    for pid in "$P0" "$P1" "$P2"; do
+    for pid in "$P0" "$P1" "$P2" "$P3"; do
         [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null
     done
     rm -rf "$DIR"
@@ -28,49 +32,121 @@ die() {
     exit 1
 }
 
+# poll_until <deadline-seconds> <description> <command...>
+# Retries the command until it succeeds (exit 0) or the deadline dies.
+poll_until() {
+    local secs="$1" what="$2"; shift 2
+    local tries=$((secs * 5))
+    for _ in $(seq 1 "$tries"); do
+        "$@" >/dev/null 2>&1 && return 0
+        sleep 0.2
+    done
+    die "timed out waiting for $what"
+}
+
+# status_of <addr> — prints the node's admin status JSON.
+status_of() {
+    "$DIR/consensus-admin" -addrs "$1" status
+}
+
 echo "serve-smoke: building CLIs"
-go build -o "$DIR" ./cmd/consensus-serve ./cmd/consensus-load || die "build failed"
+go build -o "$DIR" ./cmd/consensus-serve ./cmd/consensus-load ./cmd/consensus-admin \
+    || die "build failed"
 
 A0="127.0.0.1:$BASE_PORT"
 A1="127.0.0.1:$((BASE_PORT + 1))"
 A2="127.0.0.1:$((BASE_PORT + 2))"
+A3="127.0.0.1:$((BASE_PORT + 3))"
 PEERS="$A0,$A1,$A2"
+PEERS4="$PEERS,$A3"
 
-echo "serve-smoke: starting 3-node cluster on $PEERS"
-"$DIR/consensus-serve" -id 0 -peers "$PEERS" -tick 1ms >"$DIR/n0.log" 2>&1 & P0=$!
-"$DIR/consensus-serve" -id 1 -peers "$PEERS" -tick 1ms >"$DIR/n1.log" 2>&1 & P1=$!
-"$DIR/consensus-serve" -id 2 -peers "$PEERS" -tick 1ms >"$DIR/n2.log" 2>&1 & P2=$!
+echo "serve-smoke: starting 3-node cluster on $PEERS (snapshot-every 8)"
+"$DIR/consensus-serve" -id 0 -peers "$PEERS" -tick 1ms -snapshot-every 8 >"$DIR/n0.log" 2>&1 & P0=$!
+"$DIR/consensus-serve" -id 1 -peers "$PEERS" -tick 1ms -snapshot-every 8 >"$DIR/n1.log" 2>&1 & P1=$!
+"$DIR/consensus-serve" -id 2 -peers "$PEERS" -tick 1ms -snapshot-every 8 >"$DIR/n2.log" 2>&1 & P2=$!
 sleep 1
 
 echo "serve-smoke: load burst 1 (full cluster)"
 "$DIR/consensus-load" -addrs "$PEERS" -duration 2s -workers 8 -session 110000 \
     || die "load burst 1 committed nothing"
 
-echo "serve-smoke: killing node 2 (pid $P2)"
-kill -9 "$P2" 2>/dev/null
-wait "$P2" 2>/dev/null
-P2=""
+# Every original node must have compacted before the join: the joiner's
+# log prefix is then gone cluster-wide, so only an InstallSnapshot can
+# catch it up.
+compacted() {
+    local addr out
+    for addr in "$A0" "$A1" "$A2"; do
+        out=$(status_of "$addr") || return 1
+        echo "$out" | grep -q '"snap_index": 0[^0-9]' && return 1
+        echo "$out" | grep -q '"snap_index":' || return 1
+    done
+    return 0
+}
+echo "serve-smoke: waiting for every node to compact"
+poll_until 20 "log compaction on all nodes" compacted
 
-echo "serve-smoke: load burst 2 (one node down)"
-"$DIR/consensus-load" -addrs "$PEERS" -duration 2s -workers 8 -session 120000 \
-    || die "load burst 2 committed nothing; cluster did not survive the kill"
+echo "serve-smoke: joining node 3 on $A3"
+"$DIR/consensus-serve" -id 3 -peers "$PEERS4" -tick 1ms -join -snapshot-every 8 >"$DIR/n3.log" 2>&1 & P3=$!
+sleep 0.5
+"$DIR/consensus-admin" -addrs "$PEERS" add-node 3 "$A3" \
+    || die "add-node was not submitted on any node"
+
+# Snapshot catch-up assertion: the joiner must report at least one
+# installed snapshot and a 4-member config on every shard group.
+joined() {
+    local out
+    out=$(status_of "$A3") || return 1
+    echo "$out" | grep -q '"installs": 0[^0-9]' && return 1
+    echo "$out" | grep -q '"installs":' || return 1
+    # Inside the indented members arrays, ids sit alone on a line; the
+    # joiner appears once per shard group.
+    [ "$(echo "$out" | grep -c '^[[:space:]]*3$')" -ge 2 ]
+}
+echo "serve-smoke: waiting for node 3 to catch up via snapshot"
+poll_until 30 "joiner snapshot install + 4-member config" joined
+
+echo "serve-smoke: load burst 2 (4-node cluster)"
+"$DIR/consensus-load" -addrs "$PEERS4" -duration 2s -workers 8 -session 120000 \
+    || die "load burst 2 committed nothing after the join"
+
+echo "serve-smoke: voting node 0 out"
+"$DIR/consensus-admin" -addrs "$PEERS4" remove-node 0 \
+    || die "remove-node was not submitted on any node"
+removed() {
+    local out
+    out=$(status_of "$A1") || return 1
+    # No standalone "0" line: node 0 is out of every group's member set.
+    ! echo "$out" | grep -q '^[[:space:]]*0,\{0,1\}$'
+}
+poll_until 20 "node 0 leaving the member set" removed
+
+echo "serve-smoke: killing removed node 0 (pid $P0)"
+kill -9 "$P0" 2>/dev/null
+wait "$P0" 2>/dev/null
+P0=""
+
+echo "serve-smoke: load burst 3 (reshaped cluster 1,2,3)"
+"$DIR/consensus-load" -addrs "$A1,$A2,$A3" -duration 2s -workers 8 -session 130000 \
+    || die "load burst 3 committed nothing; reshaped cluster did not serve"
 
 echo "serve-smoke: graceful shutdown"
-kill -TERM "$P0" "$P1"
-wait "$P0"; E0=$?
+kill -TERM "$P1" "$P2" "$P3"
 wait "$P1"; E1=$?
-P0=""; P1=""
-[ "$E0" -eq 0 ] || die "node 0 exited $E0 on SIGTERM"
+wait "$P2"; E2=$?
+wait "$P3"; E3=$?
+P1=""; P2=""; P3=""
 [ "$E1" -eq 0 ] || die "node 1 exited $E1 on SIGTERM"
+[ "$E2" -eq 0 ] || die "node 2 exited $E2 on SIGTERM"
+[ "$E3" -eq 0 ] || die "node 3 exited $E3 on SIGTERM"
 
 # The shutdown summaries must show committed client operations: the
 # bursts really went through consensus, not into a black hole.
 TOTAL=0
-for f in "$DIR/n0.log" "$DIR/n1.log"; do
+for f in "$DIR/n1.log" "$DIR/n2.log" "$DIR/n3.log"; do
     C=$(sed -n 's/.*done committed=\([0-9]*\).*/\1/p' "$f" | tail -1)
     [ -n "$C" ] || die "no shutdown summary in $f"
     TOTAL=$((TOTAL + C))
 done
 [ "$TOTAL" -gt 0 ] || die "surviving nodes report committed=0"
 
-echo "serve-smoke: PASS (survivors committed $TOTAL ops, clean shutdown)"
+echo "serve-smoke: PASS (survivors committed $TOTAL ops; join-by-snapshot and removal verified)"
